@@ -1,0 +1,34 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark regenerates one table or figure from the paper's evaluation
+and prints the corresponding rows/series.  Because the substrate is a
+simulator, absolute numbers differ from the paper's EC2 deployment; the
+benchmarks check and report the *shapes* (orderings, ratios, crossovers).
+
+Scale: the default sweeps are sized to finish in a few minutes total.  Set
+``REPRO_BENCH_SCALE=full`` for longer, higher-fidelity sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+#: "quick" (default) or "full".
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def scaled(quick_value, full_value):
+    """Pick a parameter according to the benchmark scale."""
+    return full_value if SCALE == "full" else quick_value
+
+
+@pytest.fixture
+def bench_print(capsys):
+    """Print a report so it survives pytest's output capturing."""
+    def _print(title: str, body: str) -> None:
+        with capsys.disabled():
+            print(f"\n=== {title} ===")
+            print(body)
+    return _print

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Anomaly detection: record real protocol runs and check them with Adya.
+
+Two demonstrations:
+
+1. *What HATs guarantee* — a concurrent YCSB-style workload is run through
+   the MAV protocol, its history is recorded, and the Adya checker confirms
+   Read Committed and Monotonic Atomic View hold (no G0/G1/OTV anomalies).
+
+2. *What HATs cannot prevent* — concurrent read-modify-write increments from
+   two datacenters are run through a HAT protocol; the checker finds Lost
+   Update witnesses, the anomaly Section 5.2.1 proves unavailable to prevent.
+   The same workload through the two-phase-locking baseline is anomaly-free.
+
+Run with::
+
+    python examples/anomaly_detection.py
+"""
+
+from repro.adya.history import HistoryRecorder
+from repro.adya.levels import check_history, strongest_satisfied
+from repro.adya.phenomena import LOST_UPDATE, detect
+from repro.hat import Operation, Scenario, Transaction, build_testbed
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+def record_mav_workload():
+    testbed = build_testbed(Scenario(regions=["VA", "OR"], servers_per_cluster=2))
+    recorder = HistoryRecorder()
+    env = testbed.env
+
+    def client_loop(client, workload, count=30):
+        for _ in range(count):
+            yield client.execute(workload.next_transaction())
+
+    for index, cluster in enumerate(testbed.config.cluster_names * 2):
+        client = testbed.make_client("mav", home_cluster=cluster, recorder=recorder)
+        workload = YCSBWorkload(YCSBConfig(operations_per_transaction=4, key_count=50),
+                                seed=index, session_id=index)
+        env.process(client_loop(client, workload))
+    env.run(until=env.now + 60_000.0)
+    return recorder.build()
+
+
+def record_counter_contention(protocol):
+    testbed = build_testbed(Scenario(regions=["VA", "OR"], servers_per_cluster=1))
+    recorder = HistoryRecorder()
+    env = testbed.env
+
+    def increment_loop(client, repetitions=12):
+        guess = 0
+        for _ in range(repetitions):
+            result = yield client.execute(Transaction([
+                Operation.read("counter"),
+                Operation.write("counter", guess + 1),
+            ]))
+            observed = result.value_read("counter") or 0
+            guess = max(guess, observed) + 1
+
+    for cluster in testbed.config.cluster_names:
+        client = testbed.make_client(protocol, home_cluster=cluster, recorder=recorder)
+        env.process(increment_loop(client))
+    env.run(until=env.now + 120_000.0)
+    return recorder.build()
+
+
+def main():
+    print("1. MAV workload, checked against the Adya levels")
+    print("-" * 60)
+    history = record_mav_workload()
+    for level in ("RU", "RC", "MAV", "SI"):
+        report = check_history(history, level)
+        status = "satisfied" if report.satisfied else "violated"
+        print(f"   {level:>4}: {status}")
+    print(f"   levels satisfied: {', '.join(strongest_satisfied(history))}")
+
+    print("\n2. Concurrent counter increments (Lost Update demonstration)")
+    print("-" * 60)
+    for protocol in ("read-committed", "two-phase-locking"):
+        history = record_counter_contention(protocol)
+        witnesses = detect(history, LOST_UPDATE)
+        print(f"   {protocol:>18}: {len(witnesses)} Lost Update witness(es)")
+        for witness in witnesses[:2]:
+            print(f"       {witness}")
+    print("\nThe HAT protocol stays available but loses updates under write-write")
+    print("contention; the serializable baseline prevents the anomaly at the cost")
+    print("of wide-area coordination (and unavailability under partitions).")
+
+
+if __name__ == "__main__":
+    main()

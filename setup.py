@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment this reproduction targets may lack the ``wheel`` package, in
+which case PEP 517 editable installs fail with ``invalid command
+'bdist_wheel'``.  Keeping a ``setup.py`` lets ``pip install -e . --no-use-pep517``
+(or plain ``python setup.py develop``) work offline; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

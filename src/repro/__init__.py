@@ -1,0 +1,54 @@
+"""``repro`` — a reproduction of "Highly Available Transactions: Virtues and
+Limitations" (Bailis et al., VLDB 2013).
+
+The package is organised as:
+
+* :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.storage`,
+  :mod:`repro.cluster`, :mod:`repro.replication` — the simulated substrate
+  (event loop, wide-area network, LSM storage, clusters, replication),
+* :mod:`repro.hat` — the paper's contribution: HAT protocol clients and
+  servers (eventual, Read Committed, MAV), the non-HAT baselines (master,
+  two-phase locking, quorums), session guarantees, and the testbed builder,
+* :mod:`repro.adya` — Adya-style histories, serialization graphs, phenomena
+  detectors, and isolation-level checkers (Appendix A),
+* :mod:`repro.taxonomy` — the HAT taxonomy: the model lattice of Figure 2,
+  the availability classification of Table 3, and the Table 2 survey,
+* :mod:`repro.workloads` — YCSB-style and TPC-C workloads,
+* :mod:`repro.bench` — the experiment harness that regenerates every table
+  and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro.hat import Scenario, build_testbed, Operation, Transaction
+
+    testbed = build_testbed(Scenario(regions=["VA", "OR"]))
+    client = testbed.make_client("mav")
+    txn = Transaction([Operation.write("x", 1), Operation.write("y", 1)])
+    process = client.execute(txn)
+    result = testbed.env.run_until_complete(process)
+"""
+
+from repro.hat import (
+    HAT_PROTOCOLS,
+    NON_HAT_PROTOCOLS,
+    Operation,
+    Scenario,
+    Testbed,
+    Transaction,
+    TransactionResult,
+    build_testbed,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Operation",
+    "Transaction",
+    "TransactionResult",
+    "Scenario",
+    "Testbed",
+    "build_testbed",
+    "HAT_PROTOCOLS",
+    "NON_HAT_PROTOCOLS",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Benchmark harness: regenerate every table and figure of the evaluation.
+
+* :mod:`repro.bench.metrics` — latency/throughput aggregation,
+* :mod:`repro.bench.runner` — closed-loop YCSB clients driving a testbed,
+* :mod:`repro.bench.experiments` — one entry point per paper artifact
+  (Figure 3A/B/C, Figure 4, Figure 5, Figure 6, plus the table helpers),
+* :mod:`repro.bench.report` — text rendering of the resulting series.
+
+The experiment functions accept a ``scale`` factor so the same code runs as a
+quick smoke test in CI (the defaults) or as a longer, higher-fidelity sweep.
+"""
+
+from repro.bench.metrics import LatencySummary, RunStats
+from repro.bench.runner import RunConfig, run_workload
+from repro.bench.experiments import (
+    ExperimentPoint,
+    figure3_geo_replication,
+    figure4_transaction_length,
+    figure5_write_proportion,
+    figure6_scale_out,
+)
+from repro.bench.report import format_series
+
+__all__ = [
+    "LatencySummary",
+    "RunStats",
+    "RunConfig",
+    "run_workload",
+    "ExperimentPoint",
+    "figure3_geo_replication",
+    "figure4_transaction_length",
+    "figure5_write_proportion",
+    "figure6_scale_out",
+    "format_series",
+]

@@ -1,0 +1,142 @@
+"""Command-line entry point: regenerate paper artifacts from the terminal.
+
+Usage::
+
+    python -m repro.bench --list
+    python -m repro.bench table1 table3 fig2
+    python -m repro.bench fig4 --quick
+
+Each artifact name corresponds to one table or figure of the paper; the
+command prints the same report the benchmark suite produces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.bench.experiments import (
+    figure3_geo_replication,
+    figure4_transaction_length,
+    figure5_write_proportion,
+    figure6_scale_out,
+)
+from repro.bench.report import format_latency_and_throughput, format_series
+from repro.net.measurement import (
+    cross_region_mean_table,
+    format_table_1c,
+    run_ping_study,
+)
+from repro.taxonomy.classification import availability_summary
+from repro.taxonomy.lattice import build_lattice
+from repro.taxonomy.survey import format_table_2
+from repro.workloads.tpcc_analysis import hat_compliance_table
+
+
+def _table1(quick: bool) -> str:
+    study, _topology, _model = run_ping_study(samples_per_link=200 if quick else 2000)
+    matrix = cross_region_mean_table(study)
+    return "Table 1c: mean cross-region RTTs (ms)\n" + format_table_1c(matrix)
+
+
+def _table2(quick: bool) -> str:
+    return "Table 2: default and maximum isolation levels\n" + format_table_2()
+
+
+def _table3(quick: bool) -> str:
+    return "Table 3: availability classification\n" + availability_summary().as_table()
+
+
+def _fig2(quick: bool) -> str:
+    lattice = build_lattice()
+    lines = ["Figure 2: model strength lattice (weaker -> stronger)"]
+    lines += [f"  {a} -> {b}" for a, b in lattice.edge_list()]
+    lines.append(f"strongest HAT combination: "
+                 f"{', '.join(sorted(lattice.strongest_hat_combination()))}")
+    return "\n".join(lines)
+
+
+def _fig3(quick: bool) -> str:
+    points = figure3_geo_replication(
+        deployment="B-two-regions",
+        client_counts=(2, 6) if quick else (4, 16, 48),
+        duration_ms=400.0 if quick else 2000.0,
+        servers_per_cluster=2 if quick else 5,
+    )
+    return format_latency_and_throughput(points)
+
+
+def _fig4(quick: bool) -> str:
+    points = figure4_transaction_length(
+        lengths=(1, 8, 32) if quick else (1, 2, 4, 8, 16, 32, 64, 128),
+        duration_ms=400.0 if quick else 1500.0,
+    )
+    return format_series(points, value="throughput_ops_s")
+
+
+def _fig5(quick: bool) -> str:
+    points = figure5_write_proportion(
+        write_proportions=(0.0, 0.5, 1.0) if quick else (0.0, 0.25, 0.5, 0.75, 1.0),
+        duration_ms=400.0 if quick else 1500.0,
+    )
+    return format_series(points, value="throughput_txn_s")
+
+
+def _fig6(quick: bool) -> str:
+    points = figure6_scale_out(
+        servers_per_cluster_values=(2, 4, 8) if quick else (5, 10, 15, 25),
+        duration_ms=400.0 if quick else 1200.0,
+    )
+    return format_series(points, value="throughput_txn_s")
+
+
+def _tpcc(quick: bool) -> str:
+    return "Section 6.2: TPC-C HAT compliance\n" + hat_compliance_table()
+
+
+ARTIFACTS: Dict[str, Callable[[bool], str]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "fig2": _fig2,
+    "fig3": _fig3,
+    "fig4": _fig4,
+    "fig5": _fig5,
+    "fig6": _fig6,
+    "tpcc": _tpcc,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate tables and figures from the HAT paper.",
+    )
+    parser.add_argument("artifacts", nargs="*",
+                        help=f"artifacts to regenerate ({', '.join(ARTIFACTS)})")
+    parser.add_argument("--list", action="store_true", help="list artifact names")
+    parser.add_argument("--quick", action="store_true", default=True,
+                        help="use the small/fast parameterisation (default)")
+    parser.add_argument("--full", dest="quick", action="store_false",
+                        help="use the longer, higher-fidelity sweeps")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or not args.artifacts:
+        print("available artifacts:", ", ".join(ARTIFACTS))
+        return 0
+    for name in args.artifacts:
+        if name not in ARTIFACTS:
+            print(f"unknown artifact {name!r}; use --list to see the options",
+                  file=sys.stderr)
+            return 2
+        print(f"\n===== {name} =====")
+        print(ARTIFACTS[name](args.quick))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,208 @@
+"""Experiment definitions: one function per figure of the evaluation.
+
+Each function sweeps the same parameter the paper sweeps and returns a list
+of :class:`ExperimentPoint` — protocol, x-value, throughput, latency — which
+the benchmark scripts print as the figure's data series.  Scale factors keep
+the default sweeps small enough for CI; the shapes (who wins, by what factor,
+where the crossovers are) are what the reproduction targets, not absolute
+numbers, because the substrate is a simulator rather than EC2 hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.bench.metrics import RunStats
+from repro.bench.runner import RunConfig, run_workload
+from repro.hat.protocols import EVENTUAL, MASTER, MAV, READ_COMMITTED
+from repro.hat.testbed import FIVE_REGION_DEPLOYMENT, Scenario
+from repro.workloads.ycsb import YCSBConfig
+
+#: The four configurations plotted in Figures 3-6.
+FIGURE_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, MASTER)
+
+
+@dataclass
+class ExperimentPoint:
+    """One (protocol, x) data point of a figure."""
+
+    figure: str
+    protocol: str
+    x_label: str
+    x_value: float
+    throughput_txn_s: float
+    throughput_ops_s: float
+    mean_latency_ms: float
+    p95_latency_ms: float
+    committed: int
+    aborted: int
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def _point(figure: str, x_label: str, x_value: float, stats: RunStats) -> ExperimentPoint:
+    return ExperimentPoint(
+        figure=figure,
+        protocol=stats.protocol,
+        x_label=x_label,
+        x_value=x_value,
+        throughput_txn_s=stats.throughput_txn_s,
+        throughput_ops_s=stats.throughput_ops_s,
+        mean_latency_ms=stats.latency.mean,
+        p95_latency_ms=stats.latency.p95,
+        committed=stats.committed,
+        aborted=stats.aborted,
+        extras={"remote_rpc_fraction": stats.remote_rpc_fraction},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3: geo-replication (A: one datacenter, B: two regions, C: five regions)
+# ---------------------------------------------------------------------------
+
+FIG3_DEPLOYMENTS: Dict[str, Scenario] = {
+    "A-single-dc": Scenario(regions=["VA"], clusters_per_region=2,
+                            servers_per_cluster=5),
+    "B-two-regions": Scenario(regions=["VA", "OR"], servers_per_cluster=5),
+    "C-five-regions": Scenario(regions=list(FIVE_REGION_DEPLOYMENT),
+                               servers_per_cluster=5),
+}
+
+
+def figure3_geo_replication(
+    deployment: str = "B-two-regions",
+    client_counts: Sequence[int] = (2, 8, 16),
+    protocols: Sequence[str] = FIGURE_PROTOCOLS,
+    duration_ms: float = 1000.0,
+    servers_per_cluster: Optional[int] = None,
+    seed: int = 0,
+) -> List[ExperimentPoint]:
+    """Figure 3: YCSB latency/throughput versus number of clients.
+
+    ``deployment`` selects sub-figure A (two clusters in one datacenter),
+    B (Virginia + Oregon) or C (five regions).
+    """
+    base = FIG3_DEPLOYMENTS[deployment]
+    points: List[ExperimentPoint] = []
+    for protocol in protocols:
+        for clients in client_counts:
+            scenario = Scenario(
+                regions=list(base.regions),
+                clusters_per_region=base.clusters_per_region,
+                servers_per_cluster=servers_per_cluster or base.servers_per_cluster,
+                seed=seed,
+            )
+            config = RunConfig(
+                protocol=protocol,
+                scenario=scenario,
+                workload=YCSBConfig(),
+                clients_per_cluster=max(1, clients // len(scenario.cluster_regions())),
+                duration_ms=duration_ms,
+                seed=seed,
+            )
+            stats = run_workload(config)
+            points.append(_point(f"fig3{deployment}", "clients",
+                                 config.total_clients, stats))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 4: transaction length
+# ---------------------------------------------------------------------------
+
+def figure4_transaction_length(
+    lengths: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128),
+    protocols: Sequence[str] = FIGURE_PROTOCOLS,
+    clients_per_cluster: int = 4,
+    duration_ms: float = 800.0,
+    seed: int = 0,
+) -> List[ExperimentPoint]:
+    """Figure 4: throughput versus operations per transaction (VA + OR)."""
+    points: List[ExperimentPoint] = []
+    for protocol in protocols:
+        for length in lengths:
+            scenario = Scenario(regions=["VA", "OR"], servers_per_cluster=5, seed=seed)
+            config = RunConfig(
+                protocol=protocol,
+                scenario=scenario,
+                workload=YCSBConfig(operations_per_transaction=length),
+                clients_per_cluster=clients_per_cluster,
+                duration_ms=duration_ms,
+                seed=seed,
+            )
+            stats = run_workload(config)
+            points.append(_point("fig4", "transaction length", length, stats))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: read/write proportion
+# ---------------------------------------------------------------------------
+
+def figure5_write_proportion(
+    write_proportions: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+    protocols: Sequence[str] = FIGURE_PROTOCOLS,
+    clients_per_cluster: int = 12,
+    duration_ms: float = 800.0,
+    servers_per_cluster: int = 2,
+    seed: int = 0,
+) -> List[ExperimentPoint]:
+    """Figure 5: throughput versus the fraction of write operations (VA + OR).
+
+    The default client count is chosen to saturate the (small) server pool,
+    because the paper's read-versus-write throughput differences come from
+    per-operation server cost (WAL flushes, LSM writes, MAV's second write),
+    which only governs throughput once servers — not client round trips —
+    are the bottleneck.
+    """
+    points: List[ExperimentPoint] = []
+    for protocol in protocols:
+        for write_proportion in write_proportions:
+            scenario = Scenario(regions=["VA", "OR"],
+                                servers_per_cluster=servers_per_cluster, seed=seed)
+            config = RunConfig(
+                protocol=protocol,
+                scenario=scenario,
+                workload=YCSBConfig(write_proportion=write_proportion),
+                clients_per_cluster=clients_per_cluster,
+                duration_ms=duration_ms,
+                seed=seed,
+            )
+            stats = run_workload(config)
+            points.append(_point("fig5", "write proportion", write_proportion, stats))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: scale-out
+# ---------------------------------------------------------------------------
+
+def figure6_scale_out(
+    servers_per_cluster_values: Sequence[int] = (5, 10, 15, 25),
+    protocols: Sequence[str] = (EVENTUAL, READ_COMMITTED, MAV),
+    clients_per_server: int = 3,
+    duration_ms: float = 800.0,
+    seed: int = 0,
+) -> List[ExperimentPoint]:
+    """Figure 6: throughput versus total servers, two clusters (VA + OR).
+
+    The paper uses 15 YCSB clients per server; the default here is smaller so
+    the sweep completes quickly, but the client count still scales with the
+    number of servers so linear scale-out is observable.
+    """
+    points: List[ExperimentPoint] = []
+    for protocol in protocols:
+        for servers in servers_per_cluster_values:
+            scenario = Scenario(regions=["VA", "OR"], servers_per_cluster=servers,
+                                seed=seed)
+            config = RunConfig(
+                protocol=protocol,
+                scenario=scenario,
+                workload=YCSBConfig(),
+                clients_per_cluster=clients_per_server * servers,
+                duration_ms=duration_ms,
+                seed=seed,
+            )
+            stats = run_workload(config)
+            points.append(_point("fig6", "total servers", servers * 2, stats))
+    return points

@@ -1,0 +1,92 @@
+"""Latency and throughput aggregation for benchmark runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class LatencySummary:
+    """Summary statistics over a set of latency samples (milliseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_samples(cls, samples: List[float]) -> "LatencySummary":
+        if not samples:
+            return cls(count=0, mean=float("nan"), p50=float("nan"),
+                       p95=float("nan"), p99=float("nan"), maximum=float("nan"))
+        data = np.asarray(samples, dtype=float)
+        return cls(
+            count=int(data.size),
+            mean=float(data.mean()),
+            p50=float(np.percentile(data, 50)),
+            p95=float(np.percentile(data, 95)),
+            p99=float(np.percentile(data, 99)),
+            maximum=float(data.max()),
+        )
+
+
+@dataclass
+class RunStats:
+    """Outcome of one workload run on one testbed."""
+
+    protocol: str
+    clients: int
+    duration_ms: float
+    committed: int
+    aborted: int
+    operations: int
+    latency: LatencySummary
+    #: committed transactions per second of simulated time.
+    throughput_txn_s: float
+    #: operations per second of simulated time.
+    throughput_ops_s: float
+    #: fraction of transaction RPCs that left the client's datacenter.
+    remote_rpc_fraction: float = 0.0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+
+def summarize_run(protocol: str, clients: int, duration_ms: float,
+                  results: List[object], warmup_ms: float = 0.0,
+                  start_ms: float = 0.0) -> RunStats:
+    """Aggregate a list of :class:`TransactionResult` into :class:`RunStats`.
+
+    Transactions finishing before ``start_ms + warmup_ms`` are excluded from
+    latency and throughput so that cold-start effects (empty stores, empty
+    anti-entropy queues) do not skew the numbers.
+    """
+    cutoff = start_ms + warmup_ms
+    measured = [r for r in results if r.end_ms >= cutoff]
+    committed = [r for r in measured if r.committed]
+    aborted = [r for r in measured if not r.committed]
+    latencies = [r.latency_ms for r in committed]
+    operations = sum(len(r.reads) + len(r.writes) for r in committed)
+    effective_ms = max(duration_ms - warmup_ms, 1e-9)
+    remote = sum(r.remote_rpcs for r in measured)
+    total_rpcs = max(1, operations)
+    return RunStats(
+        protocol=protocol,
+        clients=clients,
+        duration_ms=effective_ms,
+        committed=len(committed),
+        aborted=len(aborted),
+        operations=operations,
+        latency=LatencySummary.from_samples(latencies),
+        throughput_txn_s=1000.0 * len(committed) / effective_ms,
+        throughput_ops_s=1000.0 * operations / effective_ms,
+        remote_rpc_fraction=remote / total_rpcs,
+    )

@@ -1,0 +1,52 @@
+"""Text rendering of experiment series (the benches print these)."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.bench.experiments import ExperimentPoint
+
+
+def format_series(points: Sequence[ExperimentPoint],
+                  value: str = "throughput_txn_s") -> str:
+    """Render points as one table: rows are x-values, columns are protocols.
+
+    ``value`` selects the metric: ``throughput_txn_s``, ``throughput_ops_s``,
+    ``mean_latency_ms``, or ``p95_latency_ms``.
+    """
+    if not points:
+        return "(no data)"
+    protocols: List[str] = []
+    for point in points:
+        if point.protocol not in protocols:
+            protocols.append(point.protocol)
+    x_values: List[float] = []
+    for point in points:
+        if point.x_value not in x_values:
+            x_values.append(point.x_value)
+    x_label = points[0].x_label
+    lookup: Dict[tuple, ExperimentPoint] = {
+        (p.protocol, p.x_value): p for p in points
+    }
+
+    header = f"{x_label:>20} " + "".join(f"{p:>16}" for p in protocols)
+    lines = [f"figure: {points[0].figure}   metric: {value}", header,
+             "-" * len(header)]
+    for x in x_values:
+        cells = []
+        for protocol in protocols:
+            point = lookup.get((protocol, x))
+            if point is None:
+                cells.append(f"{'-':>16}")
+            else:
+                cells.append(f"{getattr(point, value):>16.1f}")
+        lines.append(f"{x:>20.2f} " + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_latency_and_throughput(points: Sequence[ExperimentPoint]) -> str:
+    """Both panels of a Figure 3-style plot: latency and throughput tables."""
+    return "\n\n".join([
+        format_series(points, value="mean_latency_ms"),
+        format_series(points, value="throughput_txn_s"),
+    ])

@@ -1,0 +1,75 @@
+"""Closed-loop workload driver.
+
+Mirrors the paper's methodology: a fixed number of YCSB client threads per
+cluster issue transactions back-to-back ("closed loop") for a fixed duration;
+throughput is committed transactions per second and latency is the
+transaction round-trip observed by the clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.bench.metrics import RunStats, summarize_run
+from repro.hat.testbed import Scenario, Testbed, build_testbed
+from repro.hat.transaction import TransactionResult
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+
+
+@dataclass
+class RunConfig:
+    """Parameters of one benchmark run."""
+
+    protocol: str
+    scenario: Scenario
+    workload: YCSBConfig = field(default_factory=YCSBConfig)
+    clients_per_cluster: int = 4
+    duration_ms: float = 1000.0
+    warmup_ms: float = 100.0
+    seed: int = 0
+
+    @property
+    def total_clients(self) -> int:
+        return self.clients_per_cluster * len(self.scenario.cluster_regions())
+
+
+def run_workload(config: RunConfig,
+                 testbed: Optional[Testbed] = None,
+                 recorder: Optional[object] = None) -> RunStats:
+    """Execute one closed-loop run and aggregate its results."""
+    testbed = testbed or build_testbed(config.scenario)
+    env = testbed.env
+    start_ms = env.now
+    end_ms = start_ms + config.duration_ms
+    results: List[TransactionResult] = []
+
+    def client_loop(client, workload: YCSBWorkload):
+        while env.now < end_ms:
+            transaction = workload.next_transaction()
+            result = yield client.execute(transaction)
+            results.append(result)
+
+    client_index = 0
+    for cluster_name in testbed.config.cluster_names:
+        for _ in range(config.clients_per_cluster):
+            client = testbed.make_client(config.protocol,
+                                         home_cluster=cluster_name,
+                                         recorder=recorder)
+            workload = YCSBWorkload(config.workload,
+                                    seed=config.seed * 10_000 + client_index,
+                                    session_id=client_index)
+            env.process(client_loop(client, workload))
+            client_index += 1
+
+    # Let every in-flight transaction finish: run a grace period past the end.
+    env.run(until=end_ms + 2_000.0)
+
+    return summarize_run(
+        protocol=config.protocol,
+        clients=config.total_clients,
+        duration_ms=config.duration_ms,
+        results=results,
+        warmup_ms=config.warmup_ms,
+        start_ms=start_ms,
+    )

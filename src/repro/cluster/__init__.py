@@ -1,0 +1,23 @@
+"""Cluster substrate: partitioning, replica placement, servers, and routing.
+
+The paper's deployment model (Section 6.3): the database is deployed in
+*clusters* — disjoint sets of servers that each contain a single, fully
+replicated copy of the data — typically one cluster per datacenter.  Within a
+cluster, keys are hash-partitioned across servers, so the replicas of a key
+are "the owner of the key's partition, in every cluster".  Clients stick to
+the cluster in their own datacenter.
+"""
+
+from repro.cluster.partitioner import HashPartitioner
+from repro.cluster.config import Cluster, ClusterConfig
+from repro.cluster.node import ServerNode, ServiceCostModel
+from repro.cluster.client import ClientNode
+
+__all__ = [
+    "HashPartitioner",
+    "Cluster",
+    "ClusterConfig",
+    "ServerNode",
+    "ServiceCostModel",
+    "ClientNode",
+]

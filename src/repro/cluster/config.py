@@ -1,0 +1,126 @@
+"""Cluster and replica-placement configuration.
+
+A :class:`Cluster` is one fully replicated copy of the database, placed in one
+region (datacenter) and hash-partitioned across its servers.  The
+:class:`ClusterConfig` aggregates all clusters and answers the placement
+questions the protocols need:
+
+* ``replicas_for(key)`` — one server per cluster (the partition owner),
+* ``local_replica_for(key, cluster)`` — the owner within a specific cluster,
+* ``master_for(key)`` — the designated master replica used by the non-HAT
+  ``master``, locking, and quorum protocols (chosen deterministically from
+  the key hash, as in the paper's "randomly designated master per key").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.partitioner import HashPartitioner
+from repro.errors import ReproError
+
+
+@dataclass
+class Cluster:
+    """One fully replicated copy of the data, pinned to a region."""
+
+    name: str
+    region: str
+    servers: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.servers:
+            raise ReproError(f"cluster {self.name!r} has no servers")
+        self.partitioner = HashPartitioner(self.servers)
+
+    def owner_for(self, key: str) -> str:
+        """The server in this cluster that owns ``key``'s partition."""
+        return self.partitioner.owner_for(key)
+
+
+class ClusterConfig:
+    """All clusters plus replica-placement queries."""
+
+    def __init__(self, clusters: Sequence[Cluster]):
+        if not clusters:
+            raise ReproError("ClusterConfig requires at least one cluster")
+        names = [c.name for c in clusters]
+        if len(set(names)) != len(names):
+            raise ReproError(f"duplicate cluster names: {names}")
+        self.clusters: List[Cluster] = list(clusters)
+        self._by_name: Dict[str, Cluster] = {c.name: c for c in clusters}
+        self._server_to_cluster: Dict[str, str] = {}
+        for cluster in clusters:
+            for server in cluster.servers:
+                if server in self._server_to_cluster:
+                    raise ReproError(f"server {server!r} appears in two clusters")
+                self._server_to_cluster[server] = cluster.name
+
+    # -- lookup ----------------------------------------------------------------
+    def cluster(self, name: str) -> Cluster:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ReproError(f"unknown cluster {name!r}") from None
+
+    def cluster_of_server(self, server: str) -> str:
+        try:
+            return self._server_to_cluster[server]
+        except KeyError:
+            raise ReproError(f"server {server!r} is not part of any cluster") from None
+
+    @property
+    def all_servers(self) -> List[str]:
+        return [s for c in self.clusters for s in c.servers]
+
+    @property
+    def cluster_names(self) -> List[str]:
+        return [c.name for c in self.clusters]
+
+    # -- placement -----------------------------------------------------------------
+    def replicas_for(self, key: str) -> List[str]:
+        """One replica per cluster: the key's partition owner in each."""
+        return [cluster.owner_for(key) for cluster in self.clusters]
+
+    def local_replica_for(self, key: str, cluster_name: str) -> str:
+        """The replica of ``key`` inside ``cluster_name``."""
+        return self.cluster(cluster_name).owner_for(key)
+
+    def master_for(self, key: str) -> str:
+        """The designated master replica for ``key`` (non-HAT protocols).
+
+        The master is one of the key's replicas, selected deterministically
+        from the key hash so that all clients agree without coordination.
+        """
+        replicas = self.replicas_for(key)
+        index = HashPartitioner.key_hash(key) % len(replicas)
+        return replicas[index]
+
+    def peer_replicas(self, key: str, server: str) -> List[str]:
+        """The other replicas of ``key``, excluding ``server`` itself."""
+        return [r for r in self.replicas_for(key) if r != server]
+
+    def replication_factor(self) -> int:
+        """Number of copies of each key (== number of clusters)."""
+        return len(self.clusters)
+
+
+def build_cluster_config(
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    cluster_prefix: str = "cluster",
+) -> ClusterConfig:
+    """Convenience constructor: one cluster per region, N servers each.
+
+    Server names follow ``"<cluster>-s<i>"`` and match the site names the
+    cluster builder registers in the topology.
+    """
+    if servers_per_cluster < 1:
+        raise ReproError("servers_per_cluster must be >= 1")
+    clusters = []
+    for index, region in enumerate(regions):
+        name = f"{cluster_prefix}{index}-{region}"
+        servers = [f"{name}-s{i}" for i in range(servers_per_cluster)]
+        clusters.append(Cluster(name=name, region=region, servers=servers))
+    return ClusterConfig(clusters)

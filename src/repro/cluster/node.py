@@ -1,0 +1,159 @@
+"""The server node: request queue, worker pool, storage, and dispatch.
+
+Each simulated server mirrors one m1.xlarge instance from the paper's
+deployment.  Requests arrive as network messages, wait in a FIFO queue, and
+are processed by a bounded pool of workers; every request's service time is
+the storage cost (LSM + WAL) plus a fixed CPU overhead.  This queueing model
+is what produces the paper's throughput behaviour: adding closed-loop clients
+increases throughput until the servers saturate, after which latency grows
+linearly with the number of clients (Figure 3) and background work such as
+anti-entropy or MAV's second write reduces the ceiling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.net.network import Message, Network
+from repro.sim import Environment
+from repro.storage.lsm import LSMCostModel, LSMStore
+from repro.storage.wal import WriteAheadLog
+
+
+@dataclass
+class ServiceCostModel:
+    """Per-request server-side costs (milliseconds)."""
+
+    #: Fixed CPU cost per request (RPC decode, dispatch, encode).
+    request_overhead_ms: float = 0.12
+    #: Extra cost per kilobyte of payload processed.
+    per_kb_ms: float = 0.01
+    #: Number of requests a server can process concurrently (worker threads).
+    concurrency: int = 4
+
+
+@dataclass
+class ServerStats:
+    """Counters exposed to tests and benchmark reports."""
+
+    requests: int = 0
+    replies: int = 0
+    busy_ms: float = 0.0
+    queue_wait_ms: float = 0.0
+    max_queue_depth: int = 0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+
+#: A handler receives the request message and returns ``(reply_payload,
+#: extra_cost_ms)``.  The extra cost is added to the request's service time
+#: *before* the reply is sent (e.g. a synchronous WAL flush).
+Handler = Callable[[Message], Tuple[object, float]]
+
+
+class ServerNode:
+    """One database server: storage plus a queued request processor."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        name: str,
+        cost_model: Optional[ServiceCostModel] = None,
+        lsm_cost: Optional[LSMCostModel] = None,
+    ):
+        self.env = env
+        self.network = network
+        self.name = name
+        self.cost = cost_model or ServiceCostModel()
+        self.store = LSMStore(cost_model=lsm_cost)
+        self.wal = WriteAheadLog()
+        self.stats = ServerStats()
+        self.alive = True
+        self._handlers: Dict[str, Handler] = {}
+        self._queue: Deque[Tuple[Message, float]] = deque()
+        self._busy_workers = 0
+        network.register(name, self._on_message)
+
+    # -- handler registration -------------------------------------------------
+    def register_handler(self, kind: str, handler: Handler) -> None:
+        """Route messages of ``kind`` to ``handler``."""
+        if kind in self._handlers:
+            raise ReproError(f"server {self.name}: duplicate handler for {kind!r}")
+        self._handlers[kind] = handler
+
+    # -- failure injection ------------------------------------------------------
+    def crash(self) -> None:
+        """Stop serving requests (messages to this server vanish)."""
+        self.alive = False
+        self.network.unregister(self.name)
+
+    def recover(self) -> None:
+        """Come back online with the existing storage state."""
+        if not self.alive:
+            self.alive = True
+            self.network.register(self.name, self._on_message)
+
+    # -- request processing -------------------------------------------------------
+    def _on_message(self, message: Message) -> None:
+        if not self.alive:
+            return
+        self.stats.requests += 1
+        self.stats.per_kind[message.kind] = self.stats.per_kind.get(message.kind, 0) + 1
+        self._queue.append((message, self.env.now))
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth, len(self._queue))
+        self._maybe_start_worker()
+
+    def _maybe_start_worker(self) -> None:
+        while self._busy_workers < self.cost.concurrency and self._queue:
+            message, enqueued_at = self._queue.popleft()
+            self.stats.queue_wait_ms += self.env.now - enqueued_at
+            self._busy_workers += 1
+            self._process(message)
+
+    def _process(self, message: Message) -> None:
+        handler = self._handlers.get(message.kind)
+        if handler is None:
+            # Unknown request kinds get an error reply so clients fail fast
+            # instead of timing out.
+            self._finish(message, {"error": f"no handler for {message.kind!r}"}, 0.0)
+            return
+        reply_payload, extra_cost = handler(message)
+        service_ms = self.cost.request_overhead_ms + extra_cost
+        payload_kb = self._payload_kb(message)
+        service_ms += payload_kb * self.cost.per_kb_ms
+        self._finish(message, reply_payload, service_ms)
+
+    def _finish(self, message: Message, reply_payload: object, service_ms: float) -> None:
+        self.stats.busy_ms += service_ms
+
+        def _complete() -> None:
+            self._busy_workers -= 1
+            if self.alive and reply_payload is not None:
+                self.network.reply(message, reply_payload)
+                self.stats.replies += 1
+            self._maybe_start_worker()
+
+        self.env.schedule(service_ms, _complete)
+
+    @staticmethod
+    def _payload_kb(message: Message) -> float:
+        payload = message.payload
+        if isinstance(payload, dict):
+            size = payload.get("size_bytes", 0)
+            if isinstance(size, (int, float)):
+                return float(size) / 1024.0
+        return 0.0
+
+    # -- convenience ---------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def utilization(self, elapsed_ms: float) -> float:
+        """Fraction of elapsed time the server spent serving requests."""
+        if elapsed_ms <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_ms / (elapsed_ms * self.cost.concurrency))

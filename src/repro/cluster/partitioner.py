@@ -1,0 +1,48 @@
+"""Hash partitioning of the key space across the servers of a cluster."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Sequence
+
+from repro.errors import ReproError
+
+
+class HashPartitioner:
+    """Deterministically maps keys onto a fixed list of owners.
+
+    The paper's prototype is "hash-based partitioned"; we use a stable hash
+    (SHA-1 of the key) so that placement does not depend on Python's
+    randomized ``hash()`` and is identical across runs and processes.
+    """
+
+    def __init__(self, owners: Sequence[str]):
+        if not owners:
+            raise ReproError("HashPartitioner requires at least one owner")
+        self._owners: List[str] = list(owners)
+
+    @property
+    def owners(self) -> List[str]:
+        """The ordered list of owners (one per partition slot)."""
+        return list(self._owners)
+
+    @staticmethod
+    def key_hash(key: str) -> int:
+        """A stable 64-bit hash of ``key``."""
+        digest = hashlib.sha1(key.encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big")
+
+    def partition_index(self, key: str) -> int:
+        """The partition slot that owns ``key``."""
+        return self.key_hash(key) % len(self._owners)
+
+    def owner_for(self, key: str) -> str:
+        """The owner responsible for ``key``."""
+        return self._owners[self.partition_index(key)]
+
+    def keys_per_owner(self, keys: Sequence[str]) -> dict:
+        """Histogram of how many of ``keys`` land on each owner."""
+        counts = {owner: 0 for owner in self._owners}
+        for key in keys:
+            counts[self.owner_for(key)] += 1
+        return counts

@@ -1,0 +1,97 @@
+"""Exception hierarchy shared across the HAT reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without catching unrelated bugs.  The
+transaction-facing errors mirror the paper's vocabulary: a transaction either
+*commits*, *internally aborts* (its own choice, e.g. an integrity constraint),
+or *externally aborts* (the system could not complete it, e.g. an unreachable
+replica under a network partition).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulation kernel is misused."""
+
+
+class ProcessInterrupt(ReproError):
+    """Raised inside a simulated process when it is interrupted."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class NetworkError(ReproError):
+    """Base class for simulated network failures."""
+
+
+class PartitionedError(NetworkError):
+    """Raised when a message cannot be delivered because of a partition."""
+
+
+class RequestTimeout(NetworkError):
+    """Raised when an RPC does not receive a response within its deadline."""
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine failures."""
+
+
+class KeyNotFound(StorageError):
+    """Raised when a read references a key with no visible version."""
+
+
+class TransactionError(ReproError):
+    """Base class for transaction-level failures."""
+
+
+class TransactionAborted(TransactionError):
+    """Base class for any transaction abort."""
+
+    #: ``True`` when the abort was chosen by the transaction itself
+    #: (integrity constraint, explicit ``abort()``), ``False`` when the
+    #: system aborted it (timeouts, unreachable replicas, deadlock victim).
+    internal = False
+
+
+class InternalAbort(TransactionAborted):
+    """The transaction aborted by its own volition (paper Section 4.2)."""
+
+    internal = True
+
+
+class ExternalAbort(TransactionAborted):
+    """The system aborted the transaction (paper Section 4.2)."""
+
+    internal = False
+
+
+class UnavailableError(ExternalAbort):
+    """An operation could not reach the replicas it required.
+
+    HAT protocols never raise this when a replica for every accessed item is
+    reachable; non-HAT protocols (master, two-phase locking, quorum) raise it
+    whenever a partition separates the client from the master/quorum.
+    """
+
+
+class IntegrityViolation(InternalAbort):
+    """A declared integrity constraint would have been violated."""
+
+
+class IsolationError(ReproError):
+    """Raised by the Adya checker when a history is malformed."""
+
+
+class TaxonomyError(ReproError):
+    """Raised for unknown models or invalid lattice queries."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator is configured inconsistently."""

@@ -1,0 +1,36 @@
+"""Highly Available Transactions: the paper's core contribution.
+
+This package contains the proof-of-concept HAT algorithms of Section 5 and
+Appendix B, the non-HAT baselines of Section 6.3, and the testbed that wires
+them onto the simulated cluster substrate:
+
+* :mod:`repro.hat.transaction` — operations, transactions, results.
+* :mod:`repro.hat.server` — the server-side handlers for every protocol
+  (eventual/RC writes, the MAV pending/good/notify machinery, master
+  replication, the 2PL lock service, and quorum reads/writes).
+* :mod:`repro.hat.clients` — one client per protocol; each client presents
+  the same ``execute(operations)`` interface so workloads and benchmarks are
+  protocol-agnostic.
+* :mod:`repro.hat.sessions` — session guarantees (monotonic reads/writes,
+  writes-follow-reads, read-your-writes) layered over a base client.
+* :mod:`repro.hat.cut_isolation` — Item and Predicate Cut Isolation via
+  client-side caching.
+* :mod:`repro.hat.testbed` — builds a full simulated deployment (topology,
+  network, clusters, servers, anti-entropy, clients) from a scenario.
+"""
+
+from repro.hat.transaction import Operation, Transaction, TransactionResult
+from repro.hat.protocols import Protocol, HAT_PROTOCOLS, NON_HAT_PROTOCOLS
+from repro.hat.testbed import Scenario, Testbed, build_testbed
+
+__all__ = [
+    "Operation",
+    "Transaction",
+    "TransactionResult",
+    "Protocol",
+    "HAT_PROTOCOLS",
+    "NON_HAT_PROTOCOLS",
+    "Scenario",
+    "Testbed",
+    "build_testbed",
+]

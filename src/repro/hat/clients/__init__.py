@@ -1,0 +1,26 @@
+"""Protocol clients.
+
+Each client exposes ``execute(transaction)`` returning a simulation process
+whose value is a :class:`~repro.hat.transaction.TransactionResult`.  Clients
+differ only in *how* they talk to replicas, which is exactly the point the
+paper makes: the same operations, run through a HAT client, never wait on
+cross-datacenter coordination, while the non-HAT clients must.
+"""
+
+from repro.hat.clients.base import ProtocolClient
+from repro.hat.clients.eventual import EventualClient
+from repro.hat.clients.read_committed import ReadCommittedClient
+from repro.hat.clients.mav import MAVClient
+from repro.hat.clients.master import MasterClient
+from repro.hat.clients.locking import TwoPhaseLockingClient
+from repro.hat.clients.quorum import QuorumClient
+
+__all__ = [
+    "ProtocolClient",
+    "EventualClient",
+    "ReadCommittedClient",
+    "MAVClient",
+    "MasterClient",
+    "TwoPhaseLockingClient",
+    "QuorumClient",
+]

@@ -1,0 +1,128 @@
+"""Shared machinery for protocol clients."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from repro.cluster.client import ClientNode
+from repro.errors import RequestTimeout, TransactionAborted, UnavailableError
+from repro.hat.transaction import (
+    Operation,
+    ReadObservation,
+    Transaction,
+    TransactionResult,
+)
+from repro.sim import Process
+from repro.sim.process import all_of
+from repro.storage.records import Timestamp, Version
+
+#: YCSB's default value size, also used by the paper (1 KB).
+DEFAULT_VALUE_BYTES = 1024
+
+
+class ProtocolClient:
+    """Base class: timestamps, RPC helpers, and result assembly.
+
+    Subclasses implement :meth:`_run`, a generator that performs the
+    transaction's operations and returns the list of read observations (plus
+    any scan results) by mutating the result object passed to it.
+    """
+
+    protocol_name = "abstract"
+    #: HAT clients may fail over to any reachable replica; non-HAT clients
+    #: must reach specific servers (master or a quorum).
+    highly_available = True
+
+    def __init__(self, node: ClientNode, recorder: Optional[object] = None,
+                 value_bytes: int = DEFAULT_VALUE_BYTES,
+                 rpc_timeout_ms: Optional[float] = None):
+        self.node = node
+        self.recorder = recorder
+        self.value_bytes = value_bytes
+        self.rpc_timeout_ms = rpc_timeout_ms
+        self.session_id = node.client_id
+
+    # -- public API ---------------------------------------------------------------
+    def execute(self, transaction: Transaction) -> Process:
+        """Run ``transaction``; the returned process resolves to its result."""
+        return self.node.env.process(self._execute(transaction))
+
+    # -- core driver -------------------------------------------------------------
+    def _execute(self, transaction: Transaction) -> Generator:
+        transaction.session_id = self.session_id
+        result = TransactionResult(
+            txn_id=transaction.txn_id,
+            committed=False,
+            protocol=self.protocol_name,
+            session_id=self.session_id,
+            start_ms=self.node.env.now,
+        )
+        try:
+            yield from self._run(transaction, result)
+            result.committed = True
+        except TransactionAborted as abort:
+            result.error = str(abort) or abort.__class__.__name__
+            result.internal_abort = abort.internal
+        except RequestTimeout as timeout:
+            result.error = str(timeout)
+        result.end_ms = self.node.env.now
+        result.writes = transaction.write_set if result.committed else {}
+        if self.recorder is not None:
+            self.recorder.record(transaction, result)
+        return result
+
+    def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
+        raise NotImplementedError
+
+    # -- helpers for subclasses -------------------------------------------------------
+    def _make_version(self, key: str, value: Any, timestamp: Timestamp,
+                      txn_id: int, siblings=frozenset()) -> Version:
+        return Version(key=key, value=value, timestamp=timestamp,
+                       txn_id=txn_id, siblings=frozenset(siblings))
+
+    def _rpc(self, dst: str, kind: str, payload: Dict[str, Any]):
+        """Issue one RPC; track whether it left the client's home region."""
+        return self.node.rpc(dst, kind, payload, timeout_ms=self.rpc_timeout_ms)
+
+    def _pick_replica(self, key: str, result: TransactionResult) -> str:
+        """The replica a HAT client contacts for ``key``.
+
+        Preference order: the sticky (home-cluster) replica, then any replica
+        the client can currently reach.  Raises
+        :class:`~repro.errors.UnavailableError` only when *no* replica for the
+        item is reachable, which is exactly the replica-availability
+        precondition of transactional availability (Section 4.2).
+        """
+        sticky = self.node.sticky_replica(key)
+        partitions = self.node.network.partitions
+        if partitions.connected(self.node.name, sticky):
+            return sticky
+        reachable = self.node.reachable_replicas(key)
+        if not reachable:
+            raise UnavailableError(f"no reachable replica for key {key!r}")
+        result.remote_rpcs += 1
+        return reachable[0]
+
+    def _observe(self, result: TransactionResult, key: str, version: Version) -> Version:
+        result.reads.append(ReadObservation(key=key, version=version))
+        return version
+
+    def _scan_home_cluster(self, op: Operation, result: TransactionResult) -> Generator:
+        """Run a predicate read against every server of the home cluster.
+
+        Data is hash-partitioned within a cluster, so a predicate read must
+        consult all of the cluster's servers and merge their matches.
+        """
+        servers = self.node.config.cluster(self.node.home_cluster).servers
+        futures = [
+            self._rpc(server, "ru.scan", {"predicate": op.predicate})
+            for server in servers
+        ]
+        replies = yield all_of(self.node.env, futures)
+        versions = [version for reply in replies for version in reply["versions"]]
+        result.scan_results.append(versions)
+        return versions
+
+    @staticmethod
+    def _reads_of(result: TransactionResult) -> List[ReadObservation]:
+        return result.reads

@@ -1,0 +1,57 @@
+"""The non-HAT ``master`` configuration: per-key linearizable operation.
+
+"All operations for a given key are routed to a (randomly) designated master
+replica for each key (guaranteeing single-key linearizability ... as in
+PNUTS's 'read latest' operation)" (Section 6.3).  When the master for a key
+lives in another datacenter, every operation pays a wide-area round trip —
+which is precisely the latency penalty Figures 3B and 3C show.  When a
+partition separates the client from a master, the operation is unavailable.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import RequestTimeout, UnavailableError
+from repro.hat.clients.base import ProtocolClient
+from repro.hat.protocols import MASTER
+from repro.hat.transaction import Transaction, TransactionResult
+
+
+class MasterClient(ProtocolClient):
+    """Routes every operation to the key's designated master replica."""
+
+    protocol_name = MASTER
+    highly_available = False
+
+    def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
+        # The timestamp tracks simulated time so that versions install at the
+        # master in the order operations reach it (single-key linearizability).
+        timestamp = self.node.commit_timestamp()
+        result.timestamp = timestamp
+        home_servers = set(self.node.config.cluster(self.node.home_cluster).servers)
+
+        for op in transaction.operations:
+            if op.is_scan:
+                raise UnavailableError("the master configuration does not "
+                                       "support predicate reads in this prototype")
+            master = self.node.master_replica(op.key)
+            if master not in home_servers:
+                result.remote_rpcs += 1
+            if not self.node.network.partitions.connected(self.node.name, master):
+                raise UnavailableError(
+                    f"master {master!r} for key {op.key!r} is unreachable"
+                )
+            try:
+                if op.is_write:
+                    version = self._make_version(op.key, op.value, timestamp,
+                                                 transaction.txn_id)
+                    yield self._rpc(master, "master.put", {
+                        "version": version,
+                        "size_bytes": self.value_bytes,
+                    })
+                else:
+                    reply = yield self._rpc(master, "master.get", {"key": op.key})
+                    self._observe(result, op.key, reply["version"])
+            except RequestTimeout as exc:
+                raise UnavailableError(str(exc)) from exc

@@ -1,0 +1,58 @@
+"""Dynamo-style majority quorums (non-HAT baseline).
+
+Section 6.3: "clients sent requests to all replicas, which completed as soon
+as a majority of servers responded (guaranteeing regular semantics)".  A
+majority requirement makes the protocol unavailable under partitions that
+isolate a minority side, and every operation's latency is governed by the
+median-fastest majority replica — which, with replicas spread across
+datacenters, still includes at least one wide-area round trip.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import UnavailableError
+from repro.hat.clients.base import ProtocolClient
+from repro.hat.protocols import QUORUM
+from repro.hat.transaction import Transaction, TransactionResult
+from repro.replication.quorum import quorum_of
+
+
+class QuorumClient(ProtocolClient):
+    """Read/write majority quorum client."""
+
+    protocol_name = QUORUM
+    highly_available = False
+
+    def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
+        timestamp = self.node.next_timestamp()
+        result.timestamp = timestamp
+        home_servers = set(self.node.config.cluster(self.node.home_cluster).servers)
+
+        for op in transaction.operations:
+            if op.is_scan:
+                raise UnavailableError("quorum prototype does not support scans")
+            replicas = self.node.all_replicas(op.key)
+            majority = len(replicas) // 2 + 1
+            result.remote_rpcs += sum(1 for r in replicas if r not in home_servers)
+            if op.is_write:
+                version = self._make_version(op.key, op.value, timestamp,
+                                             transaction.txn_id)
+                futures = [
+                    self._rpc(replica, "quorum.put", {
+                        "version": version,
+                        "size_bytes": self.value_bytes,
+                    })
+                    for replica in replicas
+                ]
+                yield quorum_of(self.node.env, futures, majority)
+            else:
+                futures = [
+                    self._rpc(replica, "quorum.get", {"key": op.key})
+                    for replica in replicas
+                ]
+                replies = yield quorum_of(self.node.env, futures, majority)
+                versions = [reply["version"] for reply in replies]
+                latest = max(versions, key=lambda v: v.timestamp)
+                self._observe(result, op.key, latest)

@@ -1,0 +1,163 @@
+"""Server-side state for the Monotonic Atomic View algorithm (Appendix B).
+
+Replicas keep two sets of writes per data item:
+
+* ``pending`` — writes received (from clients or via anti-entropy) whose
+  transactions are not yet *pending stable*,
+* ``good`` — the stable writes, which readers see by default (in this
+  implementation ``good`` is the server's main LSM store).
+
+When a replica first receives a write for a key it owns, it notifies every
+replica of every sibling key in the same transaction.  A transaction becomes
+pending stable at a replica once that replica has collected acknowledgements
+from all replicas of all the transaction's keys, at which point its local
+pending writes for that transaction move to ``good``.
+
+Reads carry a ``required`` timestamp lower bound: if ``good`` cannot satisfy
+it, the replica answers from ``pending`` — which is safe precisely because
+the lower bound was learned from a sibling write that was already stable,
+implying this replica has received its share of the transaction (see the
+paper's argument in Appendix B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.storage.records import Timestamp, Version
+
+
+@dataclass
+class PendingTransaction:
+    """Book-keeping for one transaction timestamp at one replica."""
+
+    timestamp: Timestamp
+    expected_acks: int = 0
+    #: Distinct (origin server, key) acknowledgement pairs seen so far.
+    acks: Set[Tuple[str, str]] = field(default_factory=set)
+    #: Local writes for this transaction still waiting to become stable.
+    writes: List[Version] = field(default_factory=list)
+
+    @property
+    def stable(self) -> bool:
+        """``True`` once every expected acknowledgement has arrived."""
+        return self.expected_acks > 0 and len(self.acks) >= self.expected_acks
+
+
+@dataclass
+class MAVStats:
+    puts: int = 0
+    notifies_sent: int = 0
+    notifies_received: int = 0
+    promoted: int = 0
+    pending_reads: int = 0
+
+
+class MAVState:
+    """Pending-write tracking and stability detection for one replica."""
+
+    def __init__(self, replication_factor: int):
+        self.replication_factor = replication_factor
+        self._pending: Dict[Timestamp, PendingTransaction] = {}
+        #: key -> {timestamp -> version} for pending reads by exact timestamp.
+        self._pending_by_key: Dict[str, Dict[Timestamp, Version]] = {}
+        self._seen: Set[Tuple[str, Timestamp]] = set()
+        self.stats = MAVStats()
+
+    # -- write arrival ------------------------------------------------------------
+    def add_write(self, version: Version) -> bool:
+        """Record an incoming MAV write.
+
+        Returns ``True`` if this is the first time the replica has seen this
+        (key, timestamp) pair — only then should it notify sibling replicas.
+        """
+        token = (version.key, version.timestamp)
+        if token in self._seen:
+            return False
+        self._seen.add(token)
+        self.stats.puts += 1
+        entry = self._entry(version.timestamp, version.siblings)
+        entry.writes.append(version)
+        self._pending_by_key.setdefault(version.key, {})[version.timestamp] = version
+        return True
+
+    def _entry(self, timestamp: Timestamp, siblings) -> PendingTransaction:
+        entry = self._pending.get(timestamp)
+        if entry is None:
+            entry = PendingTransaction(timestamp=timestamp)
+            self._pending[timestamp] = entry
+        if siblings and entry.expected_acks == 0:
+            entry.expected_acks = len(siblings) * self.replication_factor
+        return entry
+
+    # -- acknowledgements ------------------------------------------------------------
+    def record_ack(self, timestamp: Timestamp, origin: str, key: str,
+                   expected_acks: int) -> bool:
+        """Record one acknowledgement; return True if the txn is now stable."""
+        self.stats.notifies_received += 1
+        entry = self._pending.get(timestamp)
+        if entry is None:
+            entry = PendingTransaction(timestamp=timestamp)
+            self._pending[timestamp] = entry
+        if expected_acks and entry.expected_acks == 0:
+            entry.expected_acks = expected_acks
+        entry.acks.add((origin, key))
+        return entry.stable
+
+    def is_stable(self, timestamp: Timestamp) -> bool:
+        entry = self._pending.get(timestamp)
+        return entry.stable if entry is not None else False
+
+    # -- promotion --------------------------------------------------------------------
+    def take_stable_writes(self, timestamp: Timestamp) -> List[Version]:
+        """Remove and return this replica's now-stable writes for ``timestamp``.
+
+        The caller installs them into the ``good`` store.  The transaction's
+        acknowledgement entry is retained (cheaply) so that late-arriving
+        writes for the same transaction promote immediately.
+        """
+        entry = self._pending.get(timestamp)
+        if entry is None or not entry.stable:
+            return []
+        writes, entry.writes = entry.writes, []
+        for version in writes:
+            by_key = self._pending_by_key.get(version.key)
+            if by_key is not None:
+                by_key.pop(version.timestamp, None)
+                if not by_key:
+                    self._pending_by_key.pop(version.key, None)
+        self.stats.promoted += len(writes)
+        return writes
+
+    # -- pending reads --------------------------------------------------------------------
+    def read_pending(self, key: str, required: Timestamp) -> Optional[Version]:
+        """Serve a read from pending: the exact required version, if present.
+
+        Falling back to the *highest* pending version would risk returning a
+        write that never becomes stable, so only the requested timestamp (or
+        a higher already-known pending version of the same key from a stable
+        transaction) is returned.
+        """
+        self.stats.pending_reads += 1
+        by_key = self._pending_by_key.get(key, {})
+        exact = by_key.get(required)
+        if exact is not None:
+            return exact
+        # Any pending version at or above the bound whose transaction is
+        # already stable is also safe to reveal.
+        candidates = [
+            version for ts, version in by_key.items()
+            if ts >= required and self.is_stable(ts)
+        ]
+        if candidates:
+            return max(candidates, key=lambda v: v.timestamp)
+        return None
+
+    # -- introspection -----------------------------------------------------------------------
+    def pending_count(self) -> int:
+        """Number of writes currently waiting for stability."""
+        return sum(len(entry.writes) for entry in self._pending.values())
+
+    def tracked_transactions(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,94 @@
+"""Protocol names and their availability classification.
+
+The benchmark harness selects protocols by name; the taxonomy cross-checks
+that the HAT protocols really are the highly available ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+EVENTUAL = "eventual"
+READ_COMMITTED = "read-committed"
+MAV = "mav"
+MASTER = "master"
+TWO_PHASE_LOCKING = "two-phase-locking"
+QUORUM = "quorum"
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """Static description of one protocol configuration."""
+
+    name: str
+    isolation: str
+    highly_available: bool
+    sticky_available: bool
+    description: str
+
+
+_PROTOCOLS: Dict[str, Protocol] = {
+    EVENTUAL: Protocol(
+        name=EVENTUAL,
+        isolation="Read Uncommitted (last-writer-wins)",
+        highly_available=True,
+        sticky_available=True,
+        description="Writes apply immediately at any replica; anti-entropy "
+                    "converges replicas (paper Section 5.1.1, 'eventual').",
+    ),
+    READ_COMMITTED: Protocol(
+        name=READ_COMMITTED,
+        isolation="Read Committed",
+        highly_available=True,
+        sticky_available=True,
+        description="Clients buffer writes until commit so no reader observes "
+                    "uncommitted data (paper Section 5.1.1, 'RC').",
+    ),
+    MAV: Protocol(
+        name=MAV,
+        isolation="Monotonic Atomic View",
+        highly_available=True,
+        sticky_available=True,
+        description="Two-phase pending/good visibility with per-transaction "
+                    "sibling metadata (paper Section 5.1.2 and Appendix B).",
+    ),
+    MASTER: Protocol(
+        name=MASTER,
+        isolation="Per-key linearizable (single-key 'read latest')",
+        highly_available=False,
+        sticky_available=False,
+        description="All operations for a key route to its designated master "
+                    "replica (paper Section 6.3, 'master').",
+    ),
+    TWO_PHASE_LOCKING: Protocol(
+        name=TWO_PHASE_LOCKING,
+        isolation="One-copy serializable",
+        highly_available=False,
+        sticky_available=False,
+        description="Distributed two-phase locking with two-phase commit "
+                    "(paper Section 6.1/6.3 baseline).",
+    ),
+    QUORUM: Protocol(
+        name=QUORUM,
+        isolation="Regular register semantics per key",
+        highly_available=False,
+        sticky_available=False,
+        description="Read/write majority quorums as in Dynamo "
+                    "(paper Section 6.3).",
+    ),
+}
+
+HAT_PROTOCOLS: Tuple[str, ...] = (EVENTUAL, READ_COMMITTED, MAV)
+NON_HAT_PROTOCOLS: Tuple[str, ...] = (MASTER, TWO_PHASE_LOCKING, QUORUM)
+ALL_PROTOCOLS: Tuple[str, ...] = HAT_PROTOCOLS + NON_HAT_PROTOCOLS
+
+
+def protocol_info(name: str) -> Protocol:
+    """Look up the static description of a protocol by name."""
+    try:
+        return _PROTOCOLS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; expected one of {sorted(_PROTOCOLS)}"
+        ) from None

@@ -1,0 +1,157 @@
+"""Session guarantees layered over a base protocol client (Section 5.1.3).
+
+A *session* is the sequence of transactions one client submits between "log
+in" and "log out".  The guarantees come in two groups:
+
+* achievable with plain high availability: monotonic reads, monotonic writes,
+  writes-follow-reads,
+* achievable only with *sticky* availability: read-your-writes, and therefore
+  PRAM and causal consistency.
+
+The paper's constructive argument for the HA group is client/replica-side
+buffering and lower bounds on revealed versions; for the sticky group it is
+client affinity plus (optionally) a client-side cache of the session's own
+reads and writes ("a client might cache its reads and writes").  This module
+implements the client-side variant: a :class:`SessionClient` wraps any HAT
+client, maintains the session's lower bounds, and serves from its cache when
+the contacted replica has not yet caught up.  When the wrapper is configured
+as *non-sticky* it deliberately does not repair stale reads, so tests can
+exhibit exactly the read-your-writes violation of Section 5.1.3's
+impossibility argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hat.clients.base import ProtocolClient
+from repro.hat.transaction import Transaction, TransactionResult
+from repro.sim import Process
+from repro.storage.records import Timestamp, Version
+
+#: Names of the session guarantees, as used by the taxonomy.
+MONOTONIC_READS = "monotonic reads"
+MONOTONIC_WRITES = "monotonic writes"
+WRITES_FOLLOW_READS = "writes follow reads"
+READ_YOUR_WRITES = "read your writes"
+PRAM = "PRAM"
+CAUSAL = "causal"
+
+
+@dataclass
+class SessionState:
+    """Everything the session remembers across transactions."""
+
+    #: Highest version observed (read or written) per key.
+    last_seen: Dict[str, Version] = field(default_factory=dict)
+    #: Highest timestamp this session has written per key (read-your-writes).
+    own_writes: Dict[str, Version] = field(default_factory=dict)
+    #: Highest timestamp observed anywhere in the session (writes-follow-reads
+    #: dependency floor attached to subsequent writes).
+    high_water: Optional[Timestamp] = None
+    #: Diagnostics: how often a read was served from the session cache.
+    cache_hits: int = 0
+    #: Diagnostics: reads that would have violated a guarantee had the cache
+    #: not been consulted (or that *did* violate it in non-sticky mode).
+    stale_reads: int = 0
+
+
+class SessionClient:
+    """Adds session guarantees on top of a base protocol client."""
+
+    def __init__(self, base: ProtocolClient, sticky: bool = True,
+                 guarantees: Optional[List[str]] = None):
+        self.base = base
+        self.sticky = sticky
+        self.guarantees = list(guarantees) if guarantees is not None else [
+            MONOTONIC_READS, MONOTONIC_WRITES, WRITES_FOLLOW_READS,
+            READ_YOUR_WRITES, PRAM, CAUSAL,
+        ]
+        self.state = SessionState()
+
+    @property
+    def protocol_name(self) -> str:
+        return f"{self.base.protocol_name}+session"
+
+    @property
+    def node(self):
+        return self.base.node
+
+    # -- public API ---------------------------------------------------------------
+    def execute(self, transaction: Transaction) -> Process:
+        """Run a transaction and then apply session post-processing."""
+        return self.node.env.process(self._execute(transaction))
+
+    def _execute(self, transaction: Transaction):
+        result = yield self.base.execute(transaction)
+        self._apply_session_guarantees(transaction, result)
+        return result
+
+    # -- the session layer -----------------------------------------------------------
+    def _apply_session_guarantees(self, transaction: Transaction,
+                                  result: TransactionResult) -> None:
+        if not result.committed:
+            return
+        self._repair_reads(result)
+        self._remember_reads(result)
+        self._remember_writes(transaction, result)
+
+    def _repair_reads(self, result: TransactionResult) -> None:
+        """Substitute cached versions for reads that went backwards.
+
+        Enforces monotonic reads and read-your-writes: if the replica
+        returned something older than what this session has already seen,
+        serve the session's cached copy instead (the paper's client-side
+        caching argument).  In non-sticky mode the violation is recorded but
+        not repaired, demonstrating why RYW requires stickiness.
+        """
+        wants_mr = MONOTONIC_READS in self.guarantees or PRAM in self.guarantees
+        wants_ryw = READ_YOUR_WRITES in self.guarantees or PRAM in self.guarantees
+        for observation in result.reads:
+            floor = self._floor_for(observation.key, wants_mr, wants_ryw)
+            if floor is None:
+                continue
+            if observation.version.timestamp < floor.timestamp:
+                self.state.stale_reads += 1
+                if self.sticky:
+                    observation.version = floor
+                    self.state.cache_hits += 1
+
+    def _floor_for(self, key: str, wants_mr: bool, wants_ryw: bool) -> Optional[Version]:
+        candidates = []
+        if wants_mr and key in self.state.last_seen:
+            candidates.append(self.state.last_seen[key])
+        if wants_ryw and key in self.state.own_writes:
+            candidates.append(self.state.own_writes[key])
+        if not candidates:
+            return None
+        return max(candidates, key=lambda v: v.timestamp)
+
+    def _remember_reads(self, result: TransactionResult) -> None:
+        for observation in result.reads:
+            version = observation.version
+            current = self.state.last_seen.get(observation.key)
+            if current is None or version.timestamp > current.timestamp:
+                self.state.last_seen[observation.key] = version
+            if self.state.high_water is None or version.timestamp > self.state.high_water:
+                self.state.high_water = version.timestamp
+
+    def _remember_writes(self, transaction: Transaction,
+                         result: TransactionResult) -> None:
+        if result.timestamp is None:
+            return
+        for key, value in result.writes.items():
+            version = Version(key=key, value=value, timestamp=result.timestamp,
+                              txn_id=transaction.txn_id)
+            self.state.own_writes[key] = version
+            self.state.last_seen[key] = version
+        if result.writes and (
+            self.state.high_water is None or result.timestamp > self.state.high_water
+        ):
+            self.state.high_water = result.timestamp
+
+    # -- reporting -----------------------------------------------------------------------
+    def violations(self) -> int:
+        """Stale reads that were *not* repaired (non-sticky sessions)."""
+        return self.state.stale_reads - self.state.cache_hits

@@ -1,0 +1,224 @@
+"""Testbed assembly: build a full simulated HAT deployment from a scenario.
+
+A :class:`Scenario` describes the deployment the way Section 6.3 does: which
+datacenters (regions) host a cluster, how many servers per cluster, which
+protocol the clients speak, how many clients per cluster, and the workload
+value size.  :func:`build_testbed` wires together the simulation environment,
+topology, latency model, network, cluster configuration, servers,
+anti-entropy services, and a client factory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.client import ClientNode
+from repro.cluster.config import ClusterConfig, build_cluster_config
+from repro.cluster.node import ServiceCostModel
+from repro.errors import ReproError
+from repro.hat.clients import (
+    EventualClient,
+    MAVClient,
+    MasterClient,
+    ProtocolClient,
+    QuorumClient,
+    ReadCommittedClient,
+    TwoPhaseLockingClient,
+)
+from repro.hat.cut_isolation import CutIsolationClient
+from repro.hat.protocols import (
+    EVENTUAL,
+    MASTER,
+    MAV,
+    QUORUM,
+    READ_COMMITTED,
+    TWO_PHASE_LOCKING,
+)
+from repro.hat.server import HATServer
+from repro.hat.sessions import SessionClient
+from repro.net.latency import EC2LatencyModel, FixedLatencyModel, LatencyModel
+from repro.net.network import Network
+from repro.net.partitions import PartitionManager
+from repro.net.topology import Topology
+from repro.replication.antientropy import AntiEntropyConfig
+from repro.sim import Environment, RandomStreams
+from repro.storage.lsm import LSMCostModel
+
+#: The five lowest-communication-cost regions the paper uses for Figure 3C.
+FIVE_REGION_DEPLOYMENT = ["VA", "CA", "OR", "IR", "SI"]
+
+_CLIENT_COUNTER = itertools.count(1)
+
+_CLIENT_CLASSES = {
+    EVENTUAL: EventualClient,
+    READ_COMMITTED: ReadCommittedClient,
+    MAV: MAVClient,
+    MASTER: MasterClient,
+    TWO_PHASE_LOCKING: TwoPhaseLockingClient,
+    QUORUM: QuorumClient,
+}
+
+
+@dataclass
+class Scenario:
+    """A deployment + workload-shape description."""
+
+    regions: List[str] = field(default_factory=lambda: ["VA"])
+    clusters_per_region: int = 1
+    servers_per_cluster: int = 5
+    value_bytes: int = 1024
+    seed: int = 0
+    durable: bool = True
+    anti_entropy_interval_ms: float = 10.0
+    service_cost: ServiceCostModel = field(default_factory=ServiceCostModel)
+    lsm_cost: LSMCostModel = field(default_factory=LSMCostModel)
+    #: Use a constant-latency network instead of the EC2 model (unit tests).
+    fixed_latency_ms: Optional[float] = None
+
+    def cluster_regions(self) -> List[str]:
+        """One entry per cluster (regions repeated ``clusters_per_region`` times)."""
+        return [region for region in self.regions
+                for _ in range(self.clusters_per_region)]
+
+
+class Testbed:
+    """A running simulated deployment."""
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(self, scenario: Scenario, env: Environment, topology: Topology,
+                 network: Network, config: ClusterConfig,
+                 servers: Dict[str, HATServer], streams: RandomStreams):
+        self.scenario = scenario
+        self.env = env
+        self.topology = topology
+        self.network = network
+        self.config = config
+        self.servers = servers
+        self.streams = streams
+        self.clients: List[ProtocolClient] = []
+
+    # -- client construction -----------------------------------------------------------
+    def make_client(self, protocol: str, home_cluster: Optional[str] = None,
+                    recorder: Optional[object] = None,
+                    session: bool = False, sticky: bool = True,
+                    cut_isolation: bool = False,
+                    **client_kwargs) -> ProtocolClient:
+        """Create a protocol client homed in ``home_cluster``.
+
+        ``session=True`` wraps the client with session guarantees and
+        ``cut_isolation=True`` adds per-transaction read caching.
+        """
+        if protocol not in _CLIENT_CLASSES:
+            raise ReproError(f"unknown protocol {protocol!r}")
+        if home_cluster is None:
+            home_cluster = self.config.cluster_names[0]
+        name = f"client-{len(self.clients)}-{home_cluster}"
+        region = self.config.cluster(home_cluster).region
+        zone = self.topology.site(self.config.cluster(home_cluster).servers[0]).zone
+        self.topology.add_site(name, region=region, zone=zone)
+        node = ClientNode(self.env, self.network, self.config, name, home_cluster)
+        client = _CLIENT_CLASSES[protocol](
+            node, recorder=recorder, value_bytes=self.scenario.value_bytes,
+            **client_kwargs,
+        )
+        wrapped: ProtocolClient = client
+        if cut_isolation:
+            wrapped = CutIsolationClient(wrapped)
+        if session:
+            wrapped = SessionClient(wrapped, sticky=sticky)
+        self.clients.append(wrapped)
+        return wrapped
+
+    def make_clients(self, protocol: str, per_cluster: int,
+                     recorder: Optional[object] = None,
+                     **kwargs) -> List[ProtocolClient]:
+        """Create ``per_cluster`` clients homed in every cluster."""
+        clients = []
+        for cluster_name in self.config.cluster_names:
+            for _ in range(per_cluster):
+                clients.append(self.make_client(
+                    protocol, home_cluster=cluster_name, recorder=recorder, **kwargs
+                ))
+        return clients
+
+    # -- failure injection -------------------------------------------------------------
+    def partition_regions(self, groups: List[List[str]]) -> None:
+        """Partition the network so only regions in the same group communicate.
+
+        Uses a classifier so that clients created after the partition starts
+        are still placed on the correct side of the split.
+        """
+        label_of_region = {}
+        for index, group in enumerate(groups):
+            for region in group:
+                label_of_region[region] = f"group-{index}"
+
+        def classify(site_name: str):
+            site = self.topology.sites.get(site_name)
+            if site is None:
+                return None
+            return label_of_region.get(site.region)
+
+        self.network.partitions.partition_by(classify)
+
+    def heal(self) -> None:
+        """Remove all partitions."""
+        self.network.partitions.heal()
+
+    # -- convenience ---------------------------------------------------------------------
+    def run(self, duration_ms: float) -> float:
+        """Advance the simulation by ``duration_ms``."""
+        return self.env.run(until=self.env.now + duration_ms)
+
+    def server_list(self) -> List[HATServer]:
+        return list(self.servers.values())
+
+    def total_server_count(self) -> int:
+        return len(self.servers)
+
+
+def build_testbed(scenario: Scenario) -> Testbed:
+    """Construct every component of a simulated deployment."""
+    env = Environment()
+    streams = RandomStreams(scenario.seed)
+    topology = Topology()
+
+    cluster_regions = scenario.cluster_regions()
+    config = build_cluster_config(cluster_regions, scenario.servers_per_cluster)
+
+    # Register every server site: each cluster lives in one availability zone
+    # of its region; distinct clusters in the same region use distinct zones.
+    zone_counters: Dict[str, int] = {}
+    for cluster in config.clusters:
+        zone_index = zone_counters.get(cluster.region, 0)
+        zone_counters[cluster.region] = zone_index + 1
+        zone = f"{cluster.region}-{chr(ord('a') + zone_index)}"
+        for server_name in cluster.servers:
+            topology.add_site(server_name, region=cluster.region, zone=zone)
+
+    if scenario.fixed_latency_ms is not None:
+        latency: LatencyModel = FixedLatencyModel(scenario.fixed_latency_ms)
+    else:
+        latency = EC2LatencyModel(topology)
+    network = Network(env, topology, latency, streams=streams,
+                      partitions=PartitionManager())
+
+    servers: Dict[str, HATServer] = {}
+    ae_config = AntiEntropyConfig(interval_ms=scenario.anti_entropy_interval_ms)
+    for cluster in config.clusters:
+        for server_name in cluster.servers:
+            server = HATServer(
+                env, network, server_name, config,
+                cost_model=scenario.service_cost,
+                lsm_cost=scenario.lsm_cost,
+                anti_entropy=ae_config,
+                durable=scenario.durable,
+            )
+            server.anti_entropy.start()
+            servers[server_name] = server
+
+    return Testbed(scenario, env, topology, network, config, servers, streams)

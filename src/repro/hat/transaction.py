@@ -1,0 +1,166 @@
+"""Transactions, operations, and results.
+
+The paper's model (Appendix A.1): a transaction is a sequence of reads and
+writes over data items (plus predicate-based reads), ending in exactly one
+commit or abort.  ``Operation`` captures one step; ``TransactionResult`` is
+what a protocol client hands back, including the versions read so that the
+Adya checker can reconstruct the history.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.errors import WorkloadError
+from repro.storage.records import Timestamp, Version
+
+READ = "read"
+WRITE = "write"
+SCAN = "scan"
+
+_TXN_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One read, write, or predicate read within a transaction."""
+
+    kind: str
+    key: Optional[str] = None
+    value: Any = None
+    #: For ``scan`` operations: predicate over ``(key, value)``.
+    predicate: Optional[Callable[[str, Any], bool]] = None
+    #: Human-readable predicate label, used in histories and reports.
+    predicate_name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (READ, WRITE, SCAN):
+            raise WorkloadError(f"unknown operation kind {self.kind!r}")
+        if self.kind in (READ, WRITE) and not self.key:
+            raise WorkloadError(f"{self.kind} operation requires a key")
+        if self.kind == SCAN and self.predicate is None:
+            raise WorkloadError("scan operation requires a predicate")
+
+    # -- constructors -----------------------------------------------------------
+    @staticmethod
+    def read(key: str) -> "Operation":
+        """Read the current visible version of ``key``."""
+        return Operation(kind=READ, key=key)
+
+    @staticmethod
+    def write(key: str, value: Any) -> "Operation":
+        """Write ``value`` to ``key``."""
+        return Operation(kind=WRITE, key=key, value=value)
+
+    @staticmethod
+    def scan(predicate: Callable[[str, Any], bool], name: str = "predicate") -> "Operation":
+        """Predicate-based read (``SELECT WHERE``-style)."""
+        return Operation(kind=SCAN, predicate=predicate, predicate_name=name)
+
+    @property
+    def is_read(self) -> bool:
+        return self.kind == READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind == WRITE
+
+    @property
+    def is_scan(self) -> bool:
+        return self.kind == SCAN
+
+
+@dataclass
+class Transaction:
+    """A client-submitted group of operations."""
+
+    operations: List[Operation]
+    txn_id: int = field(default_factory=lambda: next(_TXN_IDS))
+    session_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.operations:
+            raise WorkloadError("a transaction needs at least one operation")
+
+    @property
+    def read_keys(self) -> List[str]:
+        return [op.key for op in self.operations if op.is_read]
+
+    @property
+    def write_keys(self) -> List[str]:
+        return [op.key for op in self.operations if op.is_write]
+
+    @property
+    def write_set(self) -> Dict[str, Any]:
+        """Final written value per key (last write wins within the txn)."""
+        writes: Dict[str, Any] = {}
+        for op in self.operations:
+            if op.is_write:
+                writes[op.key] = op.value
+        return writes
+
+    def accessed_keys(self) -> List[str]:
+        """Every key named by a read or write, deduplicated, in order."""
+        seen: Dict[str, None] = {}
+        for op in self.operations:
+            if op.key is not None:
+                seen.setdefault(op.key, None)
+        return list(seen)
+
+
+@dataclass
+class ReadObservation:
+    """One value observed by a committed read."""
+
+    key: str
+    version: Version
+
+    @property
+    def value(self) -> Any:
+        return self.version.value
+
+    @property
+    def writer_txn(self) -> Optional[int]:
+        return self.version.txn_id
+
+
+@dataclass
+class TransactionResult:
+    """Outcome of executing a transaction through a protocol client."""
+
+    txn_id: int
+    committed: bool
+    protocol: str
+    timestamp: Optional[Timestamp] = None
+    session_id: Optional[int] = None
+    reads: List[ReadObservation] = field(default_factory=list)
+    scan_results: List[List[Version]] = field(default_factory=list)
+    writes: Dict[str, Any] = field(default_factory=dict)
+    start_ms: float = 0.0
+    end_ms: float = 0.0
+    error: Optional[str] = None
+    #: ``True`` when an abort was the transaction's own choice (internal).
+    internal_abort: bool = False
+    #: Number of round trips to remote (non-sticky) servers, for diagnostics.
+    remote_rpcs: int = 0
+
+    @property
+    def latency_ms(self) -> float:
+        """Wall-clock (simulated) latency of the whole transaction."""
+        return self.end_ms - self.start_ms
+
+    def value_read(self, key: str) -> Any:
+        """The last value this transaction read for ``key`` (None if never)."""
+        value = None
+        for observation in self.reads:
+            if observation.key == key:
+                value = observation.value
+        return value
+
+
+def make_transaction(operations: Sequence[Operation],
+                     session_id: Optional[int] = None) -> Transaction:
+    """Convenience wrapper used by workloads and tests."""
+    return Transaction(operations=list(operations), session_id=session_id)

@@ -1,0 +1,106 @@
+"""Scripted fault schedules: time-driven partitions and server crashes.
+
+Section 2.1 of the paper surveys real partition behaviour: failures arrive
+over time, last minutes, and heal.  The :class:`FaultSchedule` replays that
+kind of timeline inside the simulation — "at t=2s, split VA from OR; at
+t=10s, heal; at t=12s, crash one server for 5s" — so tests and experiments
+can measure behaviour *across* failure and recovery rather than under a
+single static partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import NetworkError
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault action."""
+
+    at_ms: float
+    kind: str
+    description: str
+    apply: Callable[[], None]
+
+
+class FaultSchedule:
+    """Builds and installs a timeline of faults against a testbed.
+
+    Example::
+
+        schedule = FaultSchedule(testbed)
+        schedule.partition_regions(at_ms=2_000, groups=[["VA"], ["OR"]])
+        schedule.heal(at_ms=10_000)
+        schedule.crash_server(at_ms=12_000, server="cluster0-VA-s0",
+                              recover_after_ms=5_000)
+        schedule.install()
+    """
+
+    def __init__(self, testbed):
+        self.testbed = testbed
+        self._events: List[FaultEvent] = []
+        self._installed = False
+
+    # -- schedule construction ------------------------------------------------
+    def partition_regions(self, at_ms: float, groups: Sequence[Sequence[str]]) -> "FaultSchedule":
+        """Split the network into region groups at ``at_ms``."""
+        groups = [list(group) for group in groups]
+        self._add(at_ms, "partition",
+                  f"partition regions into {groups}",
+                  lambda: self.testbed.partition_regions(groups))
+        return self
+
+    def isolate_server(self, at_ms: float, server: str) -> "FaultSchedule":
+        """Cut one server off from everything at ``at_ms``."""
+        self._add(at_ms, "isolate", f"isolate {server}",
+                  lambda: self.testbed.network.partitions.isolate(server))
+        return self
+
+    def rejoin_server(self, at_ms: float, server: str) -> "FaultSchedule":
+        """Undo an isolation at ``at_ms``."""
+        self._add(at_ms, "rejoin", f"rejoin {server}",
+                  lambda: self.testbed.network.partitions.rejoin(server))
+        return self
+
+    def heal(self, at_ms: float) -> "FaultSchedule":
+        """Remove every partition at ``at_ms``."""
+        self._add(at_ms, "heal", "heal all partitions", self.testbed.heal)
+        return self
+
+    def crash_server(self, at_ms: float, server: str,
+                     recover_after_ms: Optional[float] = None) -> "FaultSchedule":
+        """Crash a server at ``at_ms`` (and optionally recover it later)."""
+        if server not in self.testbed.servers:
+            raise NetworkError(f"unknown server {server!r}")
+        self._add(at_ms, "crash", f"crash {server}",
+                  self.testbed.servers[server].crash)
+        if recover_after_ms is not None:
+            self._add(at_ms + recover_after_ms, "recover", f"recover {server}",
+                      self.testbed.servers[server].recover)
+        return self
+
+    def _add(self, at_ms: float, kind: str, description: str,
+             apply: Callable[[], None]) -> None:
+        if at_ms < 0:
+            raise NetworkError("fault events cannot be scheduled in the past")
+        if self._installed:
+            raise NetworkError("the schedule has already been installed")
+        self._events.append(FaultEvent(at_ms=at_ms, kind=kind,
+                                       description=description, apply=apply))
+
+    # -- installation -----------------------------------------------------------
+    def install(self) -> List[FaultEvent]:
+        """Register every event with the simulation clock (relative to now)."""
+        if self._installed:
+            raise NetworkError("the schedule has already been installed")
+        self._installed = True
+        for event in sorted(self._events, key=lambda e: e.at_ms):
+            self.testbed.env.schedule(event.at_ms, event.apply)
+        return self.timeline()
+
+    def timeline(self) -> List[FaultEvent]:
+        """The scheduled events, sorted by time (for logging and reports)."""
+        return sorted(self._events, key=lambda e: e.at_ms)

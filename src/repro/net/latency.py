@@ -1,0 +1,165 @@
+"""Latency models calibrated to the paper's Table 1.
+
+Table 1 reports mean round-trip times (RTTs) on EC2:
+
+* Table 1a — within one availability zone: 0.50-0.56 ms,
+* Table 1b — across availability zones in us-east: 1.08-3.57 ms,
+* Table 1c — across regions: 22.5-362.8 ms, with a full pairwise matrix.
+
+The paper also reports the 95th percentile for the slowest link (Sao Paulo to
+Singapore: mean 362.8 ms, p95 649 ms), which we use to calibrate dispersion.
+One-way latency is modelled as half the RTT mean scaled by a lognormal
+multiplier, which reproduces the long right tail visible in Figure 1.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.errors import NetworkError
+from repro.net.topology import (
+    SCOPE_CROSS_REGION,
+    SCOPE_INTER_AZ,
+    SCOPE_INTRA_AZ,
+    SCOPE_SAME_HOST,
+    Topology,
+)
+
+#: Mean cross-region RTTs (milliseconds) from Table 1c.  Keys are unordered
+#: region pairs.  The matrix in the paper is upper-triangular; we mirror it.
+TABLE_1C_RTT_MS: Dict[Tuple[str, str], float] = {
+    ("CA", "OR"): 22.5,
+    ("CA", "VA"): 84.5,
+    ("CA", "TO"): 143.7,
+    ("CA", "IR"): 169.8,
+    ("CA", "SY"): 179.1,
+    ("CA", "SP"): 185.9,
+    ("CA", "SI"): 186.9,
+    ("OR", "VA"): 82.9,
+    ("OR", "TO"): 135.1,
+    ("OR", "IR"): 170.6,
+    ("OR", "SY"): 200.6,
+    ("OR", "SP"): 207.8,
+    ("OR", "SI"): 234.4,
+    ("VA", "TO"): 202.4,
+    ("VA", "IR"): 107.9,
+    ("VA", "SY"): 265.6,
+    ("VA", "SP"): 163.4,
+    ("VA", "SI"): 253.5,
+    ("TO", "IR"): 278.3,
+    ("TO", "SY"): 144.2,
+    ("TO", "SP"): 301.4,
+    ("TO", "SI"): 90.6,
+    ("IR", "SY"): 346.2,
+    ("IR", "SP"): 239.8,
+    ("IR", "SI"): 234.1,
+    ("SY", "SP"): 333.6,
+    ("SY", "SI"): 243.1,
+    ("SP", "SI"): 362.8,
+}
+
+#: Mean intra-AZ RTTs (Table 1a) and inter-AZ RTTs (Table 1b).
+TABLE_1A_MEAN_RTT_MS = 0.554  # mean of {0.55, 0.56, 0.50}
+TABLE_1B_MEAN_RTT_MS = 2.59  # mean of {1.08, 3.12, 3.57}
+
+#: Lognormal sigma calibrated so that p95/mean is roughly 1.8, matching the
+#: Sao Paulo - Singapore link (649 ms p95 vs 362.8 ms mean).
+DEFAULT_SIGMA = 0.35
+
+
+def cross_region_rtt(region_a: str, region_b: str) -> float:
+    """Mean RTT between two regions from Table 1c (symmetric lookup)."""
+    if region_a == region_b:
+        raise NetworkError("cross_region_rtt() requires two distinct regions")
+    key = (region_a, region_b)
+    if key in TABLE_1C_RTT_MS:
+        return TABLE_1C_RTT_MS[key]
+    key = (region_b, region_a)
+    if key in TABLE_1C_RTT_MS:
+        return TABLE_1C_RTT_MS[key]
+    raise NetworkError(f"no Table 1c entry for regions {region_a!r}, {region_b!r}")
+
+
+class LatencyModel:
+    """Interface: one-way message latency between two sites."""
+
+    def one_way(self, rng: random.Random, src: str, dst: str) -> float:
+        """Sample a one-way latency in milliseconds for a message."""
+        raise NotImplementedError
+
+    def mean_rtt(self, src: str, dst: str) -> float:
+        """Mean round-trip time between two sites in milliseconds."""
+        raise NotImplementedError
+
+
+class FixedLatencyModel(LatencyModel):
+    """Constant latency; useful for unit tests and microbenchmarks."""
+
+    def __init__(self, one_way_ms: float = 1.0):
+        if one_way_ms < 0:
+            raise NetworkError("latency must be non-negative")
+        self.one_way_ms = one_way_ms
+
+    def one_way(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.one_way_ms
+
+    def mean_rtt(self, src: str, dst: str) -> float:
+        return 2.0 * self.one_way_ms
+
+
+class EC2LatencyModel(LatencyModel):
+    """Latency model calibrated to the paper's EC2 measurements.
+
+    The mean RTT is selected by communication scope (same host, intra-AZ,
+    inter-AZ, cross-region, the last from the Table 1c matrix), then a
+    lognormal multiplier adds dispersion.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        sigma: float = DEFAULT_SIGMA,
+        intra_az_rtt_ms: float = TABLE_1A_MEAN_RTT_MS,
+        inter_az_rtt_ms: float = TABLE_1B_MEAN_RTT_MS,
+        same_host_rtt_ms: float = 0.1,
+        cross_region_overrides: Optional[Dict[Tuple[str, str], float]] = None,
+    ):
+        self.topology = topology
+        self.sigma = sigma
+        self.intra_az_rtt_ms = intra_az_rtt_ms
+        self.inter_az_rtt_ms = inter_az_rtt_ms
+        self.same_host_rtt_ms = same_host_rtt_ms
+        self._overrides = dict(cross_region_overrides or {})
+        # Pre-compute the lognormal location parameter so that the mean of the
+        # multiplier is exactly 1: mean(lognormal(mu, sigma)) = exp(mu+sigma^2/2).
+        self._mu = -0.5 * sigma * sigma
+
+    # -- means --------------------------------------------------------------
+    def mean_rtt(self, src: str, dst: str) -> float:
+        scope = self.topology.scope(src, dst)
+        if scope == SCOPE_SAME_HOST:
+            return self.same_host_rtt_ms
+        if scope == SCOPE_INTRA_AZ:
+            return self.intra_az_rtt_ms
+        if scope == SCOPE_INTER_AZ:
+            return self.inter_az_rtt_ms
+        if scope == SCOPE_CROSS_REGION:
+            region_a = self.topology.site(src).region
+            region_b = self.topology.site(dst).region
+            for key in ((region_a, region_b), (region_b, region_a)):
+                if key in self._overrides:
+                    return self._overrides[key]
+            return cross_region_rtt(region_a, region_b)
+        raise NetworkError(f"unknown scope {scope!r}")
+
+    # -- samples ------------------------------------------------------------
+    def one_way(self, rng: random.Random, src: str, dst: str) -> float:
+        mean_one_way = self.mean_rtt(src, dst) / 2.0
+        multiplier = math.exp(rng.gauss(self._mu, self.sigma))
+        return mean_one_way * multiplier
+
+    def sample_rtt(self, rng: random.Random, src: str, dst: str) -> float:
+        """Sample a full round trip (two independent one-way legs)."""
+        return self.one_way(rng, src, dst) + self.one_way(rng, dst, src)

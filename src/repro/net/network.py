@@ -1,0 +1,158 @@
+"""The message bus: typed messages, RPC, partitions, and timeouts.
+
+Servers and clients register a handler with the network under a unique site
+name.  ``send`` is fire-and-forget with a sampled one-way latency; ``rpc``
+pairs a request with a response future and fails it with
+:class:`~repro.errors.RequestTimeout` if no reply arrives before the deadline.
+Partitioned messages are silently dropped, which is what a real WAN partition
+looks like to the sender.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import NetworkError, RequestTimeout
+from repro.net.latency import LatencyModel
+from repro.net.partitions import PartitionManager
+from repro.net.topology import Topology
+from repro.sim import Environment, Future, RandomStreams
+
+#: Default RPC deadline.  Long enough that it only fires when a partition (or
+#: an overloaded server) genuinely prevents a response.
+DEFAULT_RPC_TIMEOUT_MS = 10_000.0
+
+
+@dataclass
+class Message:
+    """One message on the wire."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    msg_id: int = 0
+    reply_to: Optional[int] = None
+
+
+@dataclass
+class NetworkStats:
+    """Counters used by tests and by the benchmark reports."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_partition: int = 0
+    rpc_timeouts: int = 0
+    bytes_sent: int = 0
+    per_kind: Dict[str, int] = field(default_factory=dict)
+
+
+class Network:
+    """Connects registered handlers through the latency model."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        latency: LatencyModel,
+        streams: Optional[RandomStreams] = None,
+        partitions: Optional[PartitionManager] = None,
+    ):
+        self.env = env
+        self.topology = topology
+        self.latency = latency
+        self.partitions = partitions or PartitionManager()
+        self.stats = NetworkStats()
+        self._rng = (streams or RandomStreams(0)).stream("network")
+        self._handlers: Dict[str, Callable[[Message], None]] = {}
+        self._pending_rpcs: Dict[int, Future] = {}
+        self._msg_ids = itertools.count(1)
+
+    # -- registration -------------------------------------------------------
+    def register(self, site: str, handler: Callable[[Message], None]) -> None:
+        """Attach ``handler`` to ``site``; messages to the site invoke it."""
+        if site not in self.topology.sites:
+            raise NetworkError(f"cannot register unknown site {site!r}")
+        if site in self._handlers:
+            raise NetworkError(f"site {site!r} already has a handler")
+        self._handlers[site] = handler
+
+    def unregister(self, site: str) -> None:
+        """Detach the handler for ``site`` (simulates a crashed process)."""
+        self._handlers.pop(site, None)
+
+    # -- messaging ------------------------------------------------------------
+    def send(self, src: str, dst: str, kind: str, payload: Any = None,
+             reply_to: Optional[int] = None, size_bytes: int = 0) -> int:
+        """Send a one-way message; returns its message id."""
+        message = Message(
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=payload,
+            msg_id=next(self._msg_ids),
+            reply_to=reply_to,
+        )
+        self.stats.sent += 1
+        self.stats.bytes_sent += size_bytes
+        self.stats.per_kind[kind] = self.stats.per_kind.get(kind, 0) + 1
+        if not self.partitions.connected(src, dst):
+            self.stats.dropped_partition += 1
+            return message.msg_id
+        delay = self.latency.one_way(self._rng, src, dst)
+        self.env.schedule(delay, self._deliver, message)
+        return message.msg_id
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.dst)
+        if handler is None:
+            # Destination crashed or never registered: the message vanishes,
+            # exactly as a TCP RST/timeout looks to the application.
+            return
+        self.stats.delivered += 1
+        if message.reply_to is not None:
+            pending = self._pending_rpcs.pop(message.reply_to, None)
+            if pending is not None and not pending.triggered:
+                pending.succeed(message.payload)
+            return
+        handler(message)
+
+    # -- RPC ---------------------------------------------------------------------
+    def rpc(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Any = None,
+        timeout_ms: float = DEFAULT_RPC_TIMEOUT_MS,
+        size_bytes: int = 0,
+    ) -> Future:
+        """Send a request and return a future for the matching response."""
+        response: Future = self.env.future()
+        msg_id = self.send(src, dst, kind, payload, size_bytes=size_bytes)
+        self._pending_rpcs[msg_id] = response
+
+        def _expire() -> None:
+            pending = self._pending_rpcs.pop(msg_id, None)
+            if pending is not None and not pending.triggered:
+                self.stats.rpc_timeouts += 1
+                pending.fail(RequestTimeout(
+                    f"rpc {kind!r} from {src} to {dst} timed out after "
+                    f"{timeout_ms} ms"
+                ))
+
+        self.env.schedule(timeout_ms, _expire)
+        return response
+
+    def reply(self, request: Message, payload: Any = None, size_bytes: int = 0) -> None:
+        """Send the response for ``request`` back to its sender."""
+        self.send(
+            src=request.dst,
+            dst=request.src,
+            kind=f"{request.kind}.reply",
+            payload=payload,
+            reply_to=request.msg_id,
+            size_bytes=size_bytes,
+        )

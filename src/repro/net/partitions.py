@@ -1,0 +1,103 @@
+"""Network partition injection.
+
+Section 2.1 of the paper documents that partitions are frequent in practice;
+Sections 4-5 reason about behaviour under *arbitrary, indefinitely long*
+partitions.  The :class:`PartitionManager` cuts the simulated network into
+groups of sites: messages between sites in different groups are dropped (the
+sender observes a timeout), and messages within a group flow normally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import NetworkError
+
+
+class PartitionManager:
+    """Tracks which sites can currently communicate."""
+
+    def __init__(self):
+        self._groups: Optional[List[Set[str]]] = None
+        self._isolated: Set[str] = set()
+        self._classifier: Optional[Callable[[str], Optional[str]]] = None
+
+    # -- configuration -------------------------------------------------------
+    def partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Split the network into ``groups`` of site names.
+
+        A site that appears in no group is unreachable from everywhere.
+        Groups must be disjoint.
+        """
+        seen: Set[str] = set()
+        normalized: List[Set[str]] = []
+        for group in groups:
+            group_set = set(group)
+            if group_set & seen:
+                raise NetworkError(
+                    f"partition groups overlap: {sorted(group_set & seen)}"
+                )
+            seen |= group_set
+            normalized.append(group_set)
+        self._groups = normalized
+
+    def partition_by(self, classifier: Callable[[str], Optional[str]]) -> None:
+        """Partition by a classifier: sites communicate iff same group label.
+
+        Unlike :meth:`partition`, the classifier is evaluated at message time,
+        so sites registered *after* the partition started (e.g. new clients)
+        are still assigned to the right side of the split.  A classifier
+        returning ``None`` marks a site as unreachable from everywhere.
+        """
+        self._classifier = classifier
+
+    def isolate(self, site: str) -> None:
+        """Cut one site off from every other site."""
+        self._isolated.add(site)
+
+    def rejoin(self, site: str) -> None:
+        """Undo :meth:`isolate` for one site."""
+        self._isolated.discard(site)
+
+    def heal(self) -> None:
+        """Remove every partition and isolation."""
+        self._groups = None
+        self._isolated.clear()
+        self._classifier = None
+
+    # -- queries ---------------------------------------------------------------
+    @property
+    def active(self) -> bool:
+        """``True`` when any partition or isolation is in force."""
+        return (self._groups is not None or bool(self._isolated)
+                or self._classifier is not None)
+
+    def connected(self, a: str, b: str) -> bool:
+        """Can a message currently travel from ``a`` to ``b``?"""
+        if a == b:
+            return True
+        if a in self._isolated or b in self._isolated:
+            return False
+        if self._classifier is not None:
+            group_a = self._classifier(a)
+            group_b = self._classifier(b)
+            if group_a is None or group_b is None or group_a != group_b:
+                return False
+        if self._groups is None:
+            return True
+        for group in self._groups:
+            if a in group:
+                return b in group
+        return False
+
+    def reachable_from(self, site: str, candidates: Iterable[str]) -> List[str]:
+        """Filter ``candidates`` down to those reachable from ``site``."""
+        return [c for c in candidates if self.connected(site, c)]
+
+    def describe(self) -> Dict[str, object]:
+        """A plain-dict snapshot, convenient for logging and tests."""
+        return {
+            "groups": [sorted(g) for g in (self._groups or [])],
+            "isolated": sorted(self._isolated),
+            "active": self.active,
+        }

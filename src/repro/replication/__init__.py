@@ -1,0 +1,22 @@
+"""Replication substrate: anti-entropy, locking, and quorum helpers.
+
+These are the mechanisms the paper's prototype composes:
+
+* all-to-all :mod:`anti-entropy <repro.replication.antientropy>` between the
+  replicas of each key (the ``eventual``/``RC``/``MAV`` configurations),
+* a per-key :mod:`lock manager <repro.replication.lockmanager>` used by the
+  distributed two-phase-locking baseline,
+* :mod:`quorum <repro.replication.quorum>` assembly ("wait for k of n")
+  used by the Dynamo-style quorum configuration mentioned in Section 6.3.
+"""
+
+from repro.replication.antientropy import AntiEntropyConfig, AntiEntropyService
+from repro.replication.lockmanager import LockManager
+from repro.replication.quorum import quorum_of
+
+__all__ = [
+    "AntiEntropyConfig",
+    "AntiEntropyService",
+    "LockManager",
+    "quorum_of",
+]

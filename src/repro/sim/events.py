@@ -1,0 +1,185 @@
+"""Event loop, simulated clock, and futures for the simulation kernel."""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+#: Sentinel used to mark a future that has not yet resolved.
+_PENDING = object()
+
+
+class Future:
+    """A one-shot event.
+
+    A future starts *pending*; it is resolved exactly once with either
+    :meth:`succeed` or :meth:`fail`.  Callbacks registered before resolution
+    run when the future resolves; callbacks registered afterwards run
+    immediately.  Processes wait on futures by ``yield``-ing them.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self._value: Any = _PENDING
+        self._failed = False
+        self._callbacks: List[Callable[["Future"], None]] = []
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """``True`` once the future has been resolved."""
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """``True`` when the future resolved successfully."""
+        return self.triggered and not self._failed
+
+    @property
+    def value(self) -> Any:
+        """The resolution value (or the exception if the future failed)."""
+        if not self.triggered:
+            raise SimulationError("future has not been resolved yet")
+        return self._value
+
+    # -- resolution -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Future":
+        """Resolve the future successfully with ``value``."""
+        self._resolve(value, failed=False)
+        return self
+
+    def fail(self, exception: BaseException) -> "Future":
+        """Resolve the future with an exception."""
+        if not isinstance(exception, BaseException):
+            raise SimulationError("Future.fail() requires an exception")
+        self._resolve(exception, failed=True)
+        return self
+
+    def _resolve(self, value: Any, failed: bool) -> None:
+        if self.triggered:
+            raise SimulationError("future resolved twice")
+        self._value = value
+        self._failed = failed
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.env.schedule(0.0, callback, self)
+
+    # -- callbacks --------------------------------------------------------
+    def add_callback(self, callback: Callable[["Future"], None]) -> None:
+        """Run ``callback(self)`` once the future resolves."""
+        if self.triggered:
+            self.env.schedule(0.0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "failed" if self._failed else "ok"
+        return f"<Future {state} at t={self.env.now:.3f}>"
+
+
+class Timeout(Future):
+    """A future that resolves after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        env.schedule(delay, lambda: self.succeed(value))
+
+
+class Environment:
+    """The discrete-event loop and simulated clock.
+
+    Time is a ``float`` in *milliseconds*: the paper reports RTTs and
+    operation latencies in milliseconds, so using the same unit keeps the
+    experiment code and the reported numbers aligned.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._counter = itertools.count()
+        self._active = True
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` milliseconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), callback, args)
+        )
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return a future that resolves ``delay`` ms from now."""
+        return Timeout(self, delay, value)
+
+    def future(self) -> Future:
+        """Return a new pending future bound to this environment."""
+        return Future(self)
+
+    def process(self, generator) -> "Process":
+        """Spawn a new coroutine process (see :mod:`repro.sim.process`)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- execution --------------------------------------------------------
+    def step(self) -> None:
+        """Execute the next scheduled callback, advancing simulated time."""
+        if not self._queue:
+            raise SimulationError("cannot step an empty event queue")
+        when, _seq, callback, args = heapq.heappop(self._queue)
+        self._now = when
+        callback(*args)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue is empty or simulated time reaches ``until``.
+
+        Returns the simulated time at which execution stopped.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError("cannot run until a time in the past")
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now
+
+    def run_until_complete(self, future: Future, limit: float = 1e12) -> Any:
+        """Run the loop until ``future`` resolves, then return its value.
+
+        Raises the future's exception if it failed, and
+        :class:`SimulationError` if the event queue drains first.
+        """
+        while not future.triggered:
+            if not self._queue:
+                raise SimulationError(
+                    "event queue drained before the awaited future resolved"
+                )
+            if self._queue[0][0] > limit:
+                raise SimulationError(f"simulation exceeded time limit {limit}")
+            self.step()
+        if not future.ok:
+            raise future.value
+        return future.value
+
+    @property
+    def pending_events(self) -> int:
+        """Number of callbacks waiting in the event queue."""
+        return len(self._queue)

@@ -1,0 +1,137 @@
+"""Generator-based coroutine processes for the simulation kernel.
+
+A process wraps a generator.  The generator may ``yield``:
+
+* a :class:`~repro.sim.events.Future` — the process suspends until the future
+  resolves; the future's value is sent back into the generator (or its
+  exception is thrown into it),
+* another :class:`Process` — processes are futures, so waiting for a child
+  process to finish is the same as waiting for a future,
+* a number — shorthand for ``env.timeout(number)``.
+
+The process itself is a :class:`Future` that resolves with the generator's
+return value, so parents can wait for children and failures propagate.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Iterable, List
+
+from repro.errors import ProcessInterrupt, SimulationError
+from repro.sim.events import Environment, Future
+
+
+class Process(Future):
+    """Drives a generator as a simulated process."""
+
+    def __init__(self, env: Environment, generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError(
+                "Process requires a generator (did you forget to call the "
+                "generator function?)"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Future | None = None
+        # Start the process on the next tick so construction never reenters
+        # user code synchronously.
+        env.schedule(0.0, self._resume, None, None)
+
+    # -- interruption -----------------------------------------------------
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`ProcessInterrupt` into the process at its next wait."""
+        if self.triggered:
+            return
+        self.env.schedule(0.0, self._resume, None, ProcessInterrupt(cause))
+
+    # -- internal machinery -----------------------------------------------
+    def _resume(self, value: Any, exception: BaseException | None) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if exception is not None:
+                target = self._generator.throw(exception)
+            else:
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via future
+            self.fail(exc)
+            return
+        self._wait_for(self._coerce(target))
+
+    def _coerce(self, target: Any) -> Future:
+        if isinstance(target, Future):
+            return target
+        if isinstance(target, (int, float)):
+            return self.env.timeout(float(target))
+        raise SimulationError(
+            f"process yielded an unsupported value: {target!r} "
+            "(expected a Future, Process, or a numeric delay)"
+        )
+
+    def _wait_for(self, future: Future) -> None:
+        self._waiting_on = future
+
+        def _on_resolved(resolved: Future) -> None:
+            if resolved.ok:
+                self._resume(resolved.value, None)
+            else:
+                self._resume(None, resolved.value)
+
+        future.add_callback(_on_resolved)
+
+
+def all_of(env: Environment, futures: Iterable[Future]) -> Future:
+    """Return a future that resolves once every input future resolves.
+
+    The result is the list of values in input order.  If any input fails,
+    the combined future fails with the first failure.
+    """
+    futures = list(futures)
+    result = env.future()
+    if not futures:
+        result.succeed([])
+        return result
+    remaining = [len(futures)]
+    values: List[Any] = [None] * len(futures)
+
+    def _make_callback(index: int):
+        def _callback(resolved: Future) -> None:
+            if result.triggered:
+                return
+            if not resolved.ok:
+                result.fail(resolved.value)
+                return
+            values[index] = resolved.value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                result.succeed(list(values))
+
+        return _callback
+
+    for index, future in enumerate(futures):
+        future.add_callback(_make_callback(index))
+    return result
+
+
+def any_of(env: Environment, futures: Iterable[Future]) -> Future:
+    """Return a future that resolves with the first input to resolve."""
+    futures = list(futures)
+    if not futures:
+        raise SimulationError("any_of() requires at least one future")
+    result = env.future()
+
+    def _callback(resolved: Future) -> None:
+        if result.triggered:
+            return
+        if resolved.ok:
+            result.succeed(resolved.value)
+        else:
+            result.fail(resolved.value)
+
+    for future in futures:
+        future.add_callback(_callback)
+    return result

@@ -1,0 +1,123 @@
+"""A multi-versioned in-memory key-value store.
+
+Each replica keeps, per key, a list of versions ordered by timestamp.  The
+HAT algorithms of Section 5.1 rely on multi-versioning ("algorithms that rely
+on multi-versioning and limited client-side caching"), so the store exposes
+both "latest visible version" and "latest version not exceeding a timestamp"
+reads.  Older versions can be garbage collected once a low-water mark passes.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from typing import Callable, Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import StorageError
+from repro.storage.records import Timestamp, Version, initial_version
+
+
+class VersionedStore:
+    """Multi-version map from key to timestamp-ordered versions."""
+
+    def __init__(self, keep_versions: Optional[int] = None):
+        """``keep_versions`` bounds versions retained per key (None = all)."""
+        if keep_versions is not None and keep_versions < 1:
+            raise StorageError("keep_versions must be at least 1")
+        self._keep = keep_versions
+        self._versions: Dict[str, List[Version]] = {}
+        self._timestamps: Dict[str, List[Timestamp]] = {}
+
+    # -- writes --------------------------------------------------------------
+    def install(self, version: Version) -> bool:
+        """Install ``version``; returns ``False`` if that timestamp exists."""
+        key = version.key
+        versions = self._versions.setdefault(key, [])
+        stamps = self._timestamps.setdefault(key, [])
+        index = bisect_right(stamps, version.timestamp)
+        if index > 0 and stamps[index - 1] == version.timestamp:
+            return False
+        stamps.insert(index, version.timestamp)
+        versions.insert(index, version)
+        if self._keep is not None and len(versions) > self._keep:
+            overflow = len(versions) - self._keep
+            del versions[:overflow]
+            del stamps[:overflow]
+        return True
+
+    def put(self, version: Version) -> bool:
+        """Alias for :meth:`install` (LevelDB-style naming)."""
+        return self.install(version)
+
+    # -- reads --------------------------------------------------------------
+    def latest(self, key: str) -> Version:
+        """Latest installed version, or the initial bottom version."""
+        versions = self._versions.get(key)
+        if not versions:
+            return initial_version(key)
+        return versions[-1]
+
+    def latest_at_or_before(self, key: str, timestamp: Timestamp) -> Optional[Version]:
+        """Latest version with timestamp <= ``timestamp`` (None if absent)."""
+        versions = self._versions.get(key)
+        if not versions:
+            return None
+        stamps = self._timestamps[key]
+        index = bisect_right(stamps, timestamp)
+        if index == 0:
+            return None
+        return versions[index - 1]
+
+    def exact(self, key: str, timestamp: Timestamp) -> Optional[Version]:
+        """The version with exactly ``timestamp``, if installed."""
+        versions = self._versions.get(key, [])
+        stamps = self._timestamps.get(key, [])
+        index = bisect_right(stamps, timestamp)
+        if index > 0 and stamps[index - 1] == timestamp:
+            return versions[index - 1]
+        return None
+
+    def versions(self, key: str) -> List[Version]:
+        """All retained versions of ``key``, oldest first."""
+        return list(self._versions.get(key, []))
+
+    def keys(self) -> Iterator[str]:
+        """All keys that have at least one installed version."""
+        return iter(self._versions.keys())
+
+    def scan(self, predicate: Callable[[str, Version], bool]) -> List[Version]:
+        """Latest version of every key whose latest version matches.
+
+        This is the primitive behind predicate reads (``SELECT WHERE``) used
+        by Predicate Cut Isolation.
+        """
+        matches = []
+        for key in self._versions:
+            version = self.latest(key)
+            if not version.tombstone and predicate(key, version):
+                matches.append(version)
+        return matches
+
+    # -- maintenance -----------------------------------------------------------
+    def garbage_collect(self, low_water_mark: Timestamp) -> int:
+        """Drop versions strictly older than the newest version <= mark.
+
+        Returns the number of versions removed.  Keeps at least one version
+        per key so reads never lose the item entirely.
+        """
+        removed = 0
+        for key, stamps in self._timestamps.items():
+            versions = self._versions[key]
+            index = bisect_right(stamps, low_water_mark)
+            # Keep the version at index-1 (still needed for reads at the mark).
+            cutoff = max(0, index - 1)
+            if cutoff > 0:
+                removed += cutoff
+                del versions[:cutoff]
+                del stamps[:cutoff]
+        return removed
+
+    def __len__(self) -> int:
+        return len(self._versions)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._versions

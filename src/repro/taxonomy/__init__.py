@@ -1,0 +1,38 @@
+"""The HAT taxonomy: models, availability classes, lattice, and survey.
+
+* :mod:`repro.taxonomy.models` — every isolation / consistency / session
+  model the paper classifies, with its availability class and the reason for
+  unavailability (Table 3),
+* :mod:`repro.taxonomy.lattice` — the partial order of model strength
+  (Figure 2) and queries over it (comparability, combinations, counting),
+* :mod:`repro.taxonomy.survey` — the Table 2 survey of default and maximum
+  isolation levels in 18 ACID/NewSQL databases.
+"""
+
+from repro.taxonomy.models import (
+    AVAILABLE,
+    STICKY,
+    UNAVAILABLE,
+    ConsistencyModel,
+    MODELS,
+    model,
+)
+from repro.taxonomy.lattice import HATLattice, build_lattice
+from repro.taxonomy.classification import availability_summary, classify
+from repro.taxonomy.survey import DATABASE_SURVEY, DatabaseSurveyEntry, survey_statistics
+
+__all__ = [
+    "AVAILABLE",
+    "STICKY",
+    "UNAVAILABLE",
+    "ConsistencyModel",
+    "MODELS",
+    "model",
+    "HATLattice",
+    "build_lattice",
+    "availability_summary",
+    "classify",
+    "DATABASE_SURVEY",
+    "DatabaseSurveyEntry",
+    "survey_statistics",
+]

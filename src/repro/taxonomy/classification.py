@@ -1,0 +1,120 @@
+"""Availability classification: the content of Table 3.
+
+Groups every model by availability class, explains why the unavailable ones
+are unavailable, and cross-checks the classification against two other parts
+of the library: the protocol registry (HAT protocols must implement HAT
+models) and the Adya level definitions (unavailable-because-of-lost-update
+levels must actually prohibit the Lost Update phenomenon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.adya.levels import ISOLATION_LEVELS
+from repro.adya.phenomena import LOST_UPDATE, WRITE_SKEW
+from repro.taxonomy.models import (
+    AVAILABLE,
+    MODELS,
+    PREVENTS_LOST_UPDATE,
+    PREVENTS_WRITE_SKEW,
+    REQUIRES_RECENCY,
+    STICKY,
+    UNAVAILABLE,
+    ConsistencyModel,
+)
+
+
+@dataclass
+class AvailabilitySummary:
+    """The three rows of Table 3."""
+
+    highly_available: List[str] = field(default_factory=list)
+    sticky_available: List[str] = field(default_factory=list)
+    unavailable: List[str] = field(default_factory=list)
+    #: code -> list of cause strings, for the unavailable models.
+    causes: Dict[str, List[str]] = field(default_factory=dict)
+
+    def as_table(self) -> str:
+        """Render as text shaped like Table 3."""
+        def _fmt(codes: List[str]) -> str:
+            return ", ".join(codes)
+
+        lines = [
+            f"{'HA':<12} {_fmt(self.highly_available)}",
+            f"{'Sticky':<12} {_fmt(self.sticky_available)}",
+            f"{'Unavailable':<12} {_fmt(self.unavailable)}",
+        ]
+        for code in self.unavailable:
+            lines.append(f"  {code}: {', '.join(self.causes.get(code, []))}")
+        return "\n".join(lines)
+
+
+def classify(code: str) -> ConsistencyModel:
+    """The availability classification of one model."""
+    return MODELS[code]
+
+
+def availability_summary() -> AvailabilitySummary:
+    """Reproduce Table 3: models grouped by availability class."""
+    summary = AvailabilitySummary()
+    for code, m in MODELS.items():
+        if m.availability == AVAILABLE:
+            summary.highly_available.append(code)
+        elif m.availability == STICKY:
+            summary.sticky_available.append(code)
+        else:
+            summary.unavailable.append(code)
+            summary.causes[code] = list(m.unavailability_causes)
+    summary.highly_available.sort()
+    summary.sticky_available.sort()
+    summary.unavailable.sort()
+    return summary
+
+
+def unavailability_reasons() -> Dict[str, List[str]]:
+    """code -> causes for every unavailable model."""
+    return {
+        code: list(m.unavailability_causes)
+        for code, m in MODELS.items()
+        if m.availability == UNAVAILABLE
+    }
+
+
+def cross_check_with_levels() -> List[str]:
+    """Sanity-check the classification against the Adya level definitions.
+
+    Returns a list of inconsistencies (empty when everything lines up):
+
+    * a model marked unavailable because it prevents Lost Update must, if it
+      has an Adya-style level definition, prohibit the Lost Update
+      phenomenon (same for Write Skew),
+    * a HAT or sticky model must *not* prohibit Lost Update or Write Skew
+      (those preventions are exactly what is impossible with availability).
+    """
+    problems: List[str] = []
+    for code, m in MODELS.items():
+        level = ISOLATION_LEVELS.get(code)
+        if level is None:
+            continue
+        prohibits_lu = LOST_UPDATE in level.prohibits or WRITE_SKEW in level.prohibits
+        prohibits_ws = WRITE_SKEW in level.prohibits
+        if m.availability == UNAVAILABLE:
+            if PREVENTS_LOST_UPDATE in m.unavailability_causes and not prohibits_lu:
+                problems.append(
+                    f"{code}: marked unavailable for lost-update prevention but its "
+                    "level definition does not prohibit Lost Update"
+                )
+            if PREVENTS_WRITE_SKEW in m.unavailability_causes and not prohibits_ws:
+                problems.append(
+                    f"{code}: marked unavailable for write-skew prevention but its "
+                    "level definition does not prohibit Write Skew"
+                )
+        else:
+            if prohibits_lu:
+                problems.append(
+                    f"{code}: classified as HAT-compliant yet its level definition "
+                    "prohibits Lost Update / Write Skew"
+                )
+    return problems

@@ -1,0 +1,122 @@
+"""The consistency/isolation models the paper classifies (Table 3, Figure 2).
+
+Each model records its availability class — highly available, sticky
+available, or unavailable — and, for unavailable models, the cause the paper
+identifies: preventing Lost Update, preventing Write Skew, or requiring
+recency guarantees (Table 3's dagger/double-dagger/circled-plus markers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import TaxonomyError
+
+AVAILABLE = "highly available"
+STICKY = "sticky available"
+UNAVAILABLE = "unavailable"
+
+#: Causes of unavailability (Table 3 footnote markers).
+PREVENTS_LOST_UPDATE = "prevents lost update"
+PREVENTS_WRITE_SKEW = "prevents write skew"
+REQUIRES_RECENCY = "requires recency guarantee"
+
+
+@dataclass(frozen=True)
+class ConsistencyModel:
+    """One node of the Figure 2 taxonomy."""
+
+    code: str
+    name: str
+    availability: str
+    kind: str  # "isolation", "session", "register", or "combination"
+    unavailability_causes: Tuple[str, ...] = ()
+    description: str = ""
+
+    @property
+    def is_hat(self) -> bool:
+        """HAT-compliant: achievable with (at least sticky) high availability."""
+        return self.availability in (AVAILABLE, STICKY)
+
+
+def _m(code: str, name: str, availability: str, kind: str,
+       causes: Tuple[str, ...] = (), description: str = "") -> ConsistencyModel:
+    return ConsistencyModel(code=code, name=name, availability=availability,
+                            kind=kind, unavailability_causes=causes,
+                            description=description)
+
+
+#: Every model in Table 3 / Figure 2, keyed by its abbreviation.
+MODELS: Dict[str, ConsistencyModel] = {
+    # Highly available (Table 3, first row).
+    "RU": _m("RU", "Read Uncommitted", AVAILABLE, "isolation",
+             description="Total write order per item; prohibits Dirty Write."),
+    "RC": _m("RC", "Read Committed", AVAILABLE, "isolation",
+             description="Never read uncommitted or intermediate data."),
+    "MAV": _m("MAV", "Monotonic Atomic View", AVAILABLE, "isolation",
+              description="Transactions become visible atomically."),
+    "I-CI": _m("I-CI", "Item Cut Isolation", AVAILABLE, "isolation",
+               description="Repeated item reads return the same value."),
+    "P-CI": _m("P-CI", "Predicate Cut Isolation", AVAILABLE, "isolation",
+               description="Repeated predicate reads return the same cut."),
+    "WFR": _m("WFR", "Writes Follow Reads", AVAILABLE, "session",
+              description="Happens-before ordering of observed writes."),
+    "MR": _m("MR", "Monotonic Reads", AVAILABLE, "session",
+             description="Per-item reads never go backwards within a session."),
+    "MW": _m("MW", "Monotonic Writes", AVAILABLE, "session",
+             description="Session writes become visible in submission order."),
+    # Sticky available (Table 3, second row).
+    "RYW": _m("RYW", "Read Your Writes", STICKY, "session",
+              description="A session observes its own writes."),
+    "PRAM": _m("PRAM", "PRAM", STICKY, "session",
+               description="MR + MW + RYW: per-session pipelining."),
+    "Causal": _m("Causal", "Causal Consistency", STICKY, "session",
+                 description="PRAM + WFR (Adya PL-2L)."),
+    # Unavailable (Table 3, third row).
+    "CS": _m("CS", "Cursor Stability", UNAVAILABLE, "isolation",
+             (PREVENTS_LOST_UPDATE,),
+             "Prevents Lost Update on cursor items."),
+    "SI": _m("SI", "Snapshot Isolation", UNAVAILABLE, "isolation",
+             (PREVENTS_LOST_UPDATE,),
+             "Snapshot reads with first-committer-wins writes."),
+    "RR": _m("RR", "Repeatable Read (Adya)", UNAVAILABLE, "isolation",
+             (PREVENTS_LOST_UPDATE, PREVENTS_WRITE_SKEW),
+             "Prevents Lost Update and Write Skew on items."),
+    "1SR": _m("1SR", "One-Copy Serializability", UNAVAILABLE, "isolation",
+              (PREVENTS_LOST_UPDATE, PREVENTS_WRITE_SKEW),
+              "Equivalent to a serial execution over one logical copy."),
+    "Recency": _m("Recency", "Recency Bounds", UNAVAILABLE, "register",
+                  (REQUIRES_RECENCY,),
+                  "Reads no staler than a fixed bound."),
+    "Safe": _m("Safe", "Safe Register", UNAVAILABLE, "register",
+               (REQUIRES_RECENCY,),
+               "Reads not concurrent with writes return the last value."),
+    "Regular": _m("Regular", "Regular Register", UNAVAILABLE, "register",
+                  (REQUIRES_RECENCY,),
+                  "Safe, plus concurrent reads return old or new value."),
+    "Linearizable": _m("Linearizable", "Linearizability", UNAVAILABLE, "register",
+                       (REQUIRES_RECENCY,),
+                       "Reads return the last completed write in real time."),
+    "Strong-1SR": _m("Strong-1SR", "Strong One-Copy Serializability", UNAVAILABLE,
+                     "combination",
+                     (PREVENTS_LOST_UPDATE, PREVENTS_WRITE_SKEW, REQUIRES_RECENCY),
+                     "One-copy serializability plus linearizability."),
+}
+
+
+def model(code: str) -> ConsistencyModel:
+    """Look up a model by its Table 3 / Figure 2 abbreviation."""
+    try:
+        return MODELS[code]
+    except KeyError:
+        raise TaxonomyError(
+            f"unknown model {code!r}; expected one of {sorted(MODELS)}"
+        ) from None
+
+
+def models_by_availability(availability: str) -> List[ConsistencyModel]:
+    """All models in one availability class."""
+    if availability not in (AVAILABLE, STICKY, UNAVAILABLE):
+        raise TaxonomyError(f"unknown availability class {availability!r}")
+    return [m for m in MODELS.values() if m.availability == availability]

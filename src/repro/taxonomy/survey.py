@@ -1,0 +1,139 @@
+"""Table 2: default and maximum isolation in 18 ACID/NewSQL databases.
+
+The paper surveyed the documentation of 18 databases (as of January 2013) and
+found that only three provide serializability by default and eight cannot
+provide it at all.  The survey is reproduced here as data, along with the
+aggregate statistics quoted in Section 3 and a cross-reference into the HAT
+taxonomy (is each database's *default* level achievable with high
+availability?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.taxonomy.models import MODELS
+
+#: Isolation-level abbreviations used by Table 2.
+RC = "RC"    # read committed
+RR = "RR"    # repeatable read
+SI = "SI"    # snapshot isolation
+S = "S"      # serializability
+CS = "CS"    # cursor stability
+CR = "CR"    # consistent read
+
+
+@dataclass(frozen=True)
+class DatabaseSurveyEntry:
+    """One row of Table 2."""
+
+    database: str
+    default: Optional[str]
+    maximum: str
+
+    @property
+    def serializable_by_default(self) -> bool:
+        return self.default == S
+
+    @property
+    def offers_serializability(self) -> bool:
+        return self.maximum == S
+
+
+#: Table 2, verbatim.  ``None`` default means "Depends" (IBM Informix).
+DATABASE_SURVEY: List[DatabaseSurveyEntry] = [
+    DatabaseSurveyEntry("Actian Ingres 10.0/10S", S, S),
+    DatabaseSurveyEntry("Aerospike", RC, RC),
+    DatabaseSurveyEntry("Akiban Persistit", SI, SI),
+    DatabaseSurveyEntry("Clustrix CLX 4100", RR, RR),
+    DatabaseSurveyEntry("Greenplum 4.1", RC, S),
+    DatabaseSurveyEntry("IBM DB2 10 for z/OS", CS, S),
+    DatabaseSurveyEntry("IBM Informix 11.50", None, S),
+    DatabaseSurveyEntry("MySQL 5.6", RR, S),
+    DatabaseSurveyEntry("MemSQL 1b", RC, RC),
+    DatabaseSurveyEntry("MS SQL Server 2012", RC, S),
+    DatabaseSurveyEntry("NuoDB", CR, CR),
+    DatabaseSurveyEntry("Oracle 11g", RC, SI),
+    DatabaseSurveyEntry("Oracle Berkeley DB", S, S),
+    DatabaseSurveyEntry("Oracle Berkeley DB JE", RR, S),
+    DatabaseSurveyEntry("Postgres 9.2.2", RC, S),
+    DatabaseSurveyEntry("SAP HANA", RC, SI),
+    DatabaseSurveyEntry("ScaleDB 1.02", RC, RC),
+    DatabaseSurveyEntry("VoltDB", S, S),
+]
+
+#: Mapping from Table 2 abbreviations to taxonomy model codes.  "Consistent
+#: read" is Oracle-style snapshot-ish reads; the paper groups it with the
+#: lost-update-preventing levels.
+_LEVEL_TO_MODEL: Dict[str, str] = {
+    RC: "RC",
+    RR: "RR",
+    SI: "SI",
+    S: "1SR",
+    CS: "CS",
+    CR: "SI",
+}
+
+
+@dataclass
+class SurveyStatistics:
+    """The aggregate numbers quoted in Section 3."""
+
+    total: int
+    serializable_by_default: int
+    no_serializability_option: int
+    default_hat_achievable: int
+    default_not_hat_achievable: int
+
+
+def survey_statistics() -> SurveyStatistics:
+    """Compute the Section 3 statistics from the survey data."""
+    total = len(DATABASE_SURVEY)
+    serializable_default = sum(
+        1 for entry in DATABASE_SURVEY if entry.serializable_by_default
+    )
+    no_serializability = sum(
+        1 for entry in DATABASE_SURVEY if not entry.offers_serializability
+    )
+    hat_defaults = 0
+    non_hat_defaults = 0
+    for entry in DATABASE_SURVEY:
+        model_code = default_model_code(entry)
+        if model_code is None:
+            continue
+        if MODELS[model_code].is_hat:
+            hat_defaults += 1
+        else:
+            non_hat_defaults += 1
+    return SurveyStatistics(
+        total=total,
+        serializable_by_default=serializable_default,
+        no_serializability_option=no_serializability,
+        default_hat_achievable=hat_defaults,
+        default_not_hat_achievable=non_hat_defaults,
+    )
+
+
+def default_model_code(entry: DatabaseSurveyEntry) -> Optional[str]:
+    """The taxonomy model corresponding to a database's default level."""
+    if entry.default is None:
+        return None
+    return _LEVEL_TO_MODEL[entry.default]
+
+
+def format_table_2() -> str:
+    """Render the survey as text shaped like Table 2."""
+    header = f"{'Database':<26} {'Default':>8} {'Maximum':>8} {'Default HAT?':>13}"
+    lines = [header, "-" * len(header)]
+    for entry in DATABASE_SURVEY:
+        model_code = default_model_code(entry)
+        if model_code is None:
+            hat = "depends"
+        else:
+            hat = "yes" if MODELS[model_code].is_hat else "no"
+        default = entry.default if entry.default is not None else "Depends"
+        lines.append(
+            f"{entry.database:<26} {default:>8} {entry.maximum:>8} {hat:>13}"
+        )
+    return "\n".join(lines)

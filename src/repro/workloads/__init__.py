@@ -1,0 +1,33 @@
+"""Workload generators: YCSB-style key-value workloads and TPC-C.
+
+* :mod:`repro.workloads.distributions` — uniform and zipfian key choosers,
+* :mod:`repro.workloads.ycsb` — the YCSB-like transactional workload the
+  paper drives its prototype with (Section 6.3),
+* :mod:`repro.workloads.tpcc` — the TPC-C schema and the five transaction
+  programs, used for the Section 6.2 requirements analysis,
+* :mod:`repro.workloads.tpcc_analysis` — the HAT-compliance analysis of each
+  TPC-C transaction and the TPC-C consistency-condition checkers.
+"""
+
+from repro.workloads.distributions import KeyChooser, UniformKeys, ZipfianKeys
+from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+from repro.workloads.tpcc import TPCCConfig, TPCCWorkload, TPCCState
+from repro.workloads.tpcc_analysis import (
+    TPCC_TRANSACTION_PROFILES,
+    TransactionProfile,
+    hat_compliance_table,
+)
+
+__all__ = [
+    "KeyChooser",
+    "UniformKeys",
+    "ZipfianKeys",
+    "YCSBConfig",
+    "YCSBWorkload",
+    "TPCCConfig",
+    "TPCCWorkload",
+    "TPCCState",
+    "TPCC_TRANSACTION_PROFILES",
+    "TransactionProfile",
+    "hat_compliance_table",
+]

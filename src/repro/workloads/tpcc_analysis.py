@@ -1,0 +1,197 @@
+"""HAT-compliance analysis of TPC-C (paper Section 6.2).
+
+The paper's conclusion: "four of five transactions can be executed via HATs,
+while the fifth requires unavailability" — Order-Status and Stock-Level are
+read-only, Payment is monotone (commutative increments plus an append-only
+audit trail), New-Order is achievable except for *sequential* order-id
+assignment (uniqueness is achievable, sequencing needs lost-update
+prevention), and Delivery is non-monotonic (idempotent order removal needs
+lost-update prevention or real-world compensation).
+
+This module encodes that analysis as data (:data:`TPCC_TRANSACTION_PROFILES`)
+and provides checkers for the TPC-C consistency conditions the paper cites
+(3.3.2.1 and the atomically-maintainable conditions 4-12 via MAV, versus the
+problematic 2-3 which concern order-id sequencing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.workloads.tpcc import (
+    DELIVERY,
+    NEW_ORDER,
+    ORDER_STATUS,
+    PAYMENT,
+    STOCK_LEVEL,
+    TPCCState,
+)
+
+
+@dataclass(frozen=True)
+class TransactionProfile:
+    """Semantic requirements of one TPC-C transaction type."""
+
+    name: str
+    read_only: bool
+    monotonic: bool
+    requires_sequential_ids: bool
+    requires_lost_update_prevention: bool
+    hat_executable: bool
+    weakest_sufficient_model: str
+    notes: str
+
+
+TPCC_TRANSACTION_PROFILES: Dict[str, TransactionProfile] = {
+    ORDER_STATUS: TransactionProfile(
+        name=ORDER_STATUS, read_only=True, monotonic=True,
+        requires_sequential_ids=False, requires_lost_update_prevention=False,
+        hat_executable=True, weakest_sufficient_model="RC",
+        notes="Read-only; stale reads are permitted by TPC-C; sticky clients "
+              "read their own writes.",
+    ),
+    STOCK_LEVEL: TransactionProfile(
+        name=STOCK_LEVEL, read_only=True, monotonic=True,
+        requires_sequential_ids=False, requires_lost_update_prevention=False,
+        hat_executable=True, weakest_sufficient_model="RC",
+        notes="Read-only analytics over stock and recent orders.",
+    ),
+    PAYMENT: TransactionProfile(
+        name=PAYMENT, read_only=False, monotonic=True,
+        requires_sequential_ids=False, requires_lost_update_prevention=False,
+        hat_executable=True, weakest_sufficient_model="MAV",
+        notes="Increment/append-only: balance updates commute; MAV keeps the "
+              "warehouse/district/customer rows mutually consistent.",
+    ),
+    NEW_ORDER: TransactionProfile(
+        name=NEW_ORDER, read_only=False, monotonic=False,
+        requires_sequential_ids=True, requires_lost_update_prevention=True,
+        hat_executable=True, weakest_sufficient_model="MAV",
+        notes="Executable as a HAT with unique (client-id based) order ids; "
+              "TPC-C's *sequential* district order ids require preventing "
+              "Lost Update and are therefore unavailable.",
+    ),
+    DELIVERY: TransactionProfile(
+        name=DELIVERY, read_only=False, monotonic=False,
+        requires_sequential_ids=False, requires_lost_update_prevention=True,
+        hat_executable=False, weakest_sufficient_model="1SR",
+        notes="Deleting a pending order exactly once (idempotent billing) "
+              "requires preventing Lost Update, or a real-world compensation "
+              "(the carrier picks up each package once).",
+    ),
+}
+
+
+def hat_compliance_table() -> str:
+    """Render the Section 6.2 analysis as text."""
+    header = (f"{'Transaction':<14} {'Read-only':>9} {'Monotonic':>9} "
+              f"{'HAT?':>5} {'Sufficient model':>17}")
+    lines = [header, "-" * len(header)]
+    for profile in TPCC_TRANSACTION_PROFILES.values():
+        lines.append(
+            f"{profile.name:<14} {str(profile.read_only):>9} "
+            f"{str(profile.monotonic):>9} {str(profile.hat_executable):>5} "
+            f"{profile.weakest_sufficient_model:>17}"
+        )
+    return "\n".join(lines)
+
+
+def hat_executable_count() -> Tuple[int, int]:
+    """(HAT-executable transaction types, total types) — the paper's 4-of-5."""
+    executable = sum(1 for p in TPCC_TRANSACTION_PROFILES.values() if p.hat_executable)
+    return executable, len(TPCC_TRANSACTION_PROFILES)
+
+
+# ---------------------------------------------------------------------------
+# Consistency-condition checkers
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ConsistencyViolation:
+    """One violated TPC-C consistency condition."""
+
+    condition: str
+    subject: str
+    detail: str
+
+
+def check_condition_1(warehouse_ytd: Dict[int, float],
+                      district_ytd: Dict[Tuple[int, int], float],
+                      tolerance: float = 1e-6) -> List[ConsistencyViolation]:
+    """Consistency Condition 1 (3.3.2.1): W_YTD == sum of its districts' D_YTD.
+
+    Maintainable under MAV because the warehouse and district rows are
+    updated atomically by each Payment transaction.
+    """
+    violations = []
+    per_warehouse: Dict[int, float] = {}
+    for (w, _d), ytd in district_ytd.items():
+        per_warehouse[w] = per_warehouse.get(w, 0.0) + ytd
+    for w, expected in per_warehouse.items():
+        actual = warehouse_ytd.get(w, 0.0)
+        if abs(actual - expected) > tolerance:
+            violations.append(ConsistencyViolation(
+                condition="3.3.2.1",
+                subject=f"warehouse {w}",
+                detail=f"W_YTD={actual} but sum(D_YTD)={expected}",
+            ))
+    return violations
+
+
+def check_sequential_order_ids(issued: Dict[Tuple[int, int], List[int]]
+                               ) -> List[ConsistencyViolation]:
+    """Consistency Conditions 2-3 (3.3.2.2-3): order ids densely sequential.
+
+    This is the condition HAT execution cannot guarantee: concurrent
+    New-Orders on opposite sides of a partition may assign duplicate or
+    non-consecutive district order ids.
+    """
+    violations = []
+    for (w, d), ids in issued.items():
+        expected = list(range(1, len(ids) + 1))
+        if sorted(ids) != expected:
+            violations.append(ConsistencyViolation(
+                condition="3.3.2.2-3",
+                subject=f"district {w}:{d}",
+                detail=f"order ids {sorted(ids)} are not densely sequential",
+            ))
+    return violations
+
+
+def check_unique_order_ids(issued: Dict[Tuple[int, int], List[int]]
+                           ) -> List[ConsistencyViolation]:
+    """The weaker guarantee HATs *can* provide: order ids are unique."""
+    violations = []
+    for (w, d), ids in issued.items():
+        if len(ids) != len(set(ids)):
+            violations.append(ConsistencyViolation(
+                condition="uniqueness",
+                subject=f"district {w}:{d}",
+                detail=f"duplicate order ids in {sorted(ids)}",
+            ))
+    return violations
+
+
+def check_no_negative_stock(stock: Dict[Tuple[int, int], int]
+                            ) -> List[ConsistencyViolation]:
+    """New-Order's restock-by-91 rule keeps stock non-negative (Section 6.2)."""
+    violations = []
+    for (w, item), level in stock.items():
+        if level < 0:
+            violations.append(ConsistencyViolation(
+                condition="stock >= 0",
+                subject=f"stock {w}:{item}",
+                detail=f"stock level {level} is negative",
+            ))
+    return violations
+
+
+def check_state(state: TPCCState) -> Dict[str, List[ConsistencyViolation]]:
+    """Run every checker against a driver-side TPC-C state."""
+    return {
+        "condition_1": check_condition_1(state.warehouse_ytd, state.district_ytd),
+        "sequential_ids": check_sequential_order_ids(state.issued_order_ids),
+        "unique_ids": check_unique_order_ids(state.issued_order_ids),
+        "non_negative_stock": check_no_negative_stock(state.stock_level),
+    }

@@ -1,0 +1,89 @@
+"""A YCSB-style transactional workload (paper Section 6.3).
+
+The paper links its client library to YCSB and groups "every eight YCSB
+operations from the default workload (50% reads, 50% writes) to form a
+transaction", with 100,000 keys, 1 KB values, and uniform key access.
+:class:`YCSBWorkload` generates :class:`~repro.hat.transaction.Transaction`
+objects with exactly those knobs, each exposed for the parameter sweeps of
+Figures 4 and 5.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import WorkloadError
+from repro.hat.transaction import Operation, Transaction
+from repro.workloads.distributions import KeyChooser, UniformKeys, ZipfianKeys
+
+
+@dataclass
+class YCSBConfig:
+    """Workload shape parameters."""
+
+    #: Operations grouped into one transaction (paper default: 8).
+    operations_per_transaction: int = 8
+    #: Fraction of operations that are writes (paper default: 0.5).
+    write_proportion: float = 0.5
+    #: Number of distinct keys (paper default: 100,000).
+    key_count: int = 100_000
+    #: Value payload size in bytes (paper default: 1 KB).
+    value_bytes: int = 1024
+    #: "uniform" (paper default) or "zipfian".
+    distribution: str = "uniform"
+    #: Zipfian skew parameter, used only for the zipfian distribution.
+    zipfian_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        if self.operations_per_transaction < 1:
+            raise WorkloadError("operations_per_transaction must be >= 1")
+        if not 0.0 <= self.write_proportion <= 1.0:
+            raise WorkloadError("write_proportion must be in [0, 1]")
+        if self.distribution not in ("uniform", "zipfian"):
+            raise WorkloadError(f"unknown distribution {self.distribution!r}")
+
+
+class YCSBWorkload:
+    """Generates transactions according to a :class:`YCSBConfig`."""
+
+    def __init__(self, config: Optional[YCSBConfig] = None,
+                 seed: int = 0, session_id: Optional[int] = None):
+        self.config = config or YCSBConfig()
+        self._rng = random.Random(seed)
+        self.session_id = session_id
+        self._chooser = self._build_chooser()
+        self._value_counter = 0
+
+    def _build_chooser(self) -> KeyChooser:
+        if self.config.distribution == "uniform":
+            return UniformKeys(self.config.key_count)
+        return ZipfianKeys(self.config.key_count, self.config.zipfian_theta)
+
+    # -- generation ------------------------------------------------------------
+    def next_transaction(self) -> Transaction:
+        """Generate the next transaction in the stream."""
+        operations: List[Operation] = []
+        for _ in range(self.config.operations_per_transaction):
+            key = self._chooser.key(self._rng)
+            if self._rng.random() < self.config.write_proportion:
+                self._value_counter += 1
+                operations.append(Operation.write(key, self._next_value()))
+            else:
+                operations.append(Operation.read(key))
+        return Transaction(operations=operations, session_id=self.session_id)
+
+    def transactions(self, count: int) -> List[Transaction]:
+        """Generate ``count`` transactions."""
+        return [self.next_transaction() for _ in range(count)]
+
+    def _next_value(self) -> str:
+        """A value tag; the simulated value *size* is carried by the client."""
+        return f"v{self._value_counter}"
+
+    # -- preloading -----------------------------------------------------------------
+    def load_keys(self, fraction: float = 0.01, limit: int = 1000) -> List[str]:
+        """A deterministic subset of the keyspace for pre-loading stores."""
+        count = min(limit, max(1, int(self.config.key_count * fraction)))
+        return [f"user{index}" for index in range(count)]

@@ -1,0 +1,120 @@
+"""Unit tests for DSG construction."""
+
+from repro.adya.graphs import RW, SESSION, WR, WW, build_dsg, cycles_with, edges_of
+from repro.adya.history import HistoryBuilder
+
+
+def edge_kinds(graph, src, dst):
+    if not graph.has_edge(src, dst):
+        return set()
+    return {data["kind"] for data in graph[src][dst].values()}
+
+
+class TestBuildDSG:
+    def test_write_dependency_follows_version_order(self):
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.write("x", 1)
+        t2 = builder.transaction()
+        t2.write("x", 2)
+        graph = build_dsg(builder.build())
+        assert WW in edge_kinds(graph, t1.txn_id, t2.txn_id)
+        assert not graph.has_edge(t2.txn_id, t1.txn_id)
+
+    def test_read_dependency(self):
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.write("x", 1)
+        t2 = builder.transaction()
+        t2.read("x", from_txn=t1.txn_id, value=1)
+        graph = build_dsg(builder.build())
+        assert WR in edge_kinds(graph, t1.txn_id, t2.txn_id)
+
+    def test_anti_dependency(self):
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.read("x", from_txn=None)          # reads the initial version
+        t2 = builder.transaction()
+        t2.write("x", 2)                     # installs the next version
+        graph = build_dsg(builder.build())
+        assert RW in edge_kinds(graph, t1.txn_id, t2.txn_id)
+
+    def test_session_edges(self):
+        builder = HistoryBuilder()
+        t1 = builder.transaction(session=1)
+        t1.write("x", 1)
+        t2 = builder.transaction(session=1)
+        t2.write("y", 1)
+        graph = build_dsg(builder.build(), include_sessions=True)
+        assert SESSION in edge_kinds(graph, t1.txn_id, t2.txn_id)
+        graph_no_sessions = build_dsg(builder.build(), include_sessions=False)
+        assert SESSION not in edge_kinds(graph_no_sessions, t1.txn_id, t2.txn_id)
+
+    def test_aborted_transactions_excluded(self):
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.write("x", 1).abort()
+        t2 = builder.transaction()
+        t2.write("x", 2)
+        graph = build_dsg(builder.build())
+        assert t1.txn_id not in graph.nodes
+
+    def test_edges_of_reporting(self):
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.write("x", 1)
+        t2 = builder.transaction()
+        t2.read("x", from_txn=t1.txn_id)
+        edges = edges_of(build_dsg(builder.build()))
+        assert any(edge.kind == WR and edge.item == "x" for edge in edges)
+
+
+class TestCycleSearch:
+    def test_detects_ww_cycle_with_explicit_version_order(self):
+        # T1 and T2 both write x and y, with opposite installation orders:
+        # a G0 (dirty write) cycle.
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.write("x", 1).write("y", 1)
+        t2 = builder.transaction()
+        t2.write("x", 2).write("y", 2)
+        builder.version_order("x", t1.txn_id, t2.txn_id)
+        builder.version_order("y", t2.txn_id, t1.txn_id)
+        graph = build_dsg(builder.build())
+        cycles = cycles_with(graph, allowed_kinds={WW})
+        assert cycles, "expected a write-dependency cycle"
+
+    def test_no_cycle_in_serial_history(self):
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.write("x", 1)
+        t2 = builder.transaction()
+        t2.read("x", from_txn=t1.txn_id)
+        t2.write("x", 2)
+        graph = build_dsg(builder.build())
+        assert cycles_with(graph, allowed_kinds={WW, WR, RW}) == []
+
+    def test_required_kind_filter(self):
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.read("x", from_txn=None).write("y", 1)
+        t2 = builder.transaction()
+        t2.read("y", from_txn=None).write("x", 1)
+        graph = build_dsg(builder.build())
+        with_rw = cycles_with(graph, allowed_kinds={WW, WR, RW}, required_kinds={RW})
+        only_ww = cycles_with(graph, allowed_kinds={WW})
+        assert with_rw and not only_ww
+
+    def test_item_filter(self):
+        # Lost update on x: both read initial x, both write x.
+        builder = HistoryBuilder()
+        t1 = builder.transaction()
+        t1.read("x", from_txn=None).write("x", 1)
+        t2 = builder.transaction()
+        t2.read("x", from_txn=None).write("x", 2)
+        graph = build_dsg(builder.build())
+        on_x = cycles_with(graph, allowed_kinds={WW, WR, RW},
+                           required_kinds={RW}, item="x")
+        on_y = cycles_with(graph, allowed_kinds={WW, WR, RW},
+                           required_kinds={RW}, item="y")
+        assert on_x and not on_y

@@ -1,0 +1,41 @@
+"""Tests for the ``python -m repro.bench`` command-line entry point."""
+
+import pytest
+
+from repro.bench.__main__ import ARTIFACTS, build_parser, main
+
+
+class TestParser:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ARTIFACTS:
+            assert name in out
+
+    def test_no_arguments_lists_artifacts(self, capsys):
+        assert main([]) == 0
+        assert "available artifacts" in capsys.readouterr().out
+
+    def test_unknown_artifact_fails(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_quick_is_default(self):
+        args = build_parser().parse_args(["table3"])
+        assert args.quick is True
+        args_full = build_parser().parse_args(["table3", "--full"])
+        assert args_full.quick is False
+
+
+class TestArtifacts:
+    @pytest.mark.parametrize("name", ["table2", "table3", "fig2", "tpcc"])
+    def test_static_artifacts_render(self, capsys, name):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert f"===== {name} =====" in out
+        assert len(out.splitlines()) > 5
+
+    def test_table1_quick(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1c" in out and "CA" in out

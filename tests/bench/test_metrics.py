@@ -1,0 +1,65 @@
+"""Unit tests for benchmark metrics aggregation."""
+
+import math
+
+import pytest
+
+from repro.bench.metrics import LatencySummary, summarize_run
+from repro.hat.transaction import ReadObservation, TransactionResult
+from repro.storage.records import Timestamp, Version
+
+
+def result(txn_id, committed=True, start=0.0, end=10.0, reads=0, writes=0,
+           remote=0):
+    r = TransactionResult(txn_id=txn_id, committed=committed, protocol="eventual",
+                          start_ms=start, end_ms=end, remote_rpcs=remote)
+    for i in range(reads):
+        r.reads.append(ReadObservation(key=f"k{i}",
+                                       version=Version(f"k{i}", i, Timestamp(1, 1))))
+    r.writes = {f"w{i}": i for i in range(writes)}
+    return r
+
+
+class TestLatencySummary:
+    def test_from_samples(self):
+        summary = LatencySummary.from_samples([1.0, 2.0, 3.0, 4.0, 100.0])
+        assert summary.count == 5
+        assert summary.mean == pytest.approx(22.0)
+        assert summary.p50 == pytest.approx(3.0)
+        assert summary.maximum == 100.0
+        assert summary.p95 >= summary.p50
+
+    def test_empty_samples(self):
+        summary = LatencySummary.from_samples([])
+        assert summary.count == 0
+        assert math.isnan(summary.mean)
+
+
+class TestSummarizeRun:
+    def test_throughput_and_latency(self):
+        results = [result(i, start=0.0, end=5.0, reads=2, writes=2) for i in range(10)]
+        stats = summarize_run("eventual", clients=4, duration_ms=1000.0,
+                              results=results)
+        assert stats.committed == 10
+        assert stats.throughput_txn_s == pytest.approx(10.0 / 1.0)
+        assert stats.operations == 40
+        assert stats.latency.mean == pytest.approx(5.0)
+
+    def test_warmup_exclusion(self):
+        early = [result(1, start=0.0, end=50.0)]
+        late = [result(2, start=500.0, end=600.0)]
+        stats = summarize_run("eventual", clients=1, duration_ms=1000.0,
+                              results=early + late, warmup_ms=100.0)
+        assert stats.committed == 1
+        assert stats.duration_ms == pytest.approx(900.0)
+
+    def test_abort_rate(self):
+        results = [result(1), result(2, committed=False), result(3, committed=False)]
+        stats = summarize_run("quorum", clients=1, duration_ms=1000.0, results=results)
+        assert stats.aborted == 2
+        assert stats.abort_rate == pytest.approx(2.0 / 3.0)
+
+    def test_remote_rpc_fraction(self):
+        results = [result(1, reads=4, remote=2)]
+        stats = summarize_run("master", clients=1, duration_ms=1000.0, results=results)
+        assert stats.remote_rpc_fraction == pytest.approx(0.5)

@@ -1,0 +1,72 @@
+"""Tests for the closed-loop workload runner and experiment helpers."""
+
+import pytest
+
+from repro.bench.experiments import figure4_transaction_length, figure5_write_proportion
+from repro.bench.report import format_latency_and_throughput, format_series
+from repro.bench.runner import RunConfig, run_workload
+from repro.hat.testbed import Scenario
+from repro.workloads.ycsb import YCSBConfig
+
+
+def quick_config(protocol, **overrides):
+    defaults = dict(
+        protocol=protocol,
+        scenario=Scenario(regions=["VA", "OR"], servers_per_cluster=2),
+        workload=YCSBConfig(key_count=500),
+        clients_per_cluster=2,
+        duration_ms=300.0,
+        warmup_ms=50.0,
+    )
+    defaults.update(overrides)
+    return RunConfig(**defaults)
+
+
+class TestRunWorkload:
+    def test_hat_run_produces_committed_transactions(self):
+        stats = run_workload(quick_config("read-committed"))
+        assert stats.committed > 10
+        assert stats.throughput_txn_s > 0
+        assert stats.latency.mean > 0
+
+    def test_total_clients_counts_all_clusters(self):
+        config = quick_config("eventual", clients_per_cluster=3)
+        assert config.total_clients == 6
+
+    def test_master_is_slower_than_hat(self):
+        hat = run_workload(quick_config("read-committed"))
+        master = run_workload(quick_config("master"))
+        assert master.latency.mean > 5 * hat.latency.mean
+        assert master.throughput_txn_s < hat.throughput_txn_s
+
+    def test_results_are_reproducible_for_fixed_seed(self):
+        a = run_workload(quick_config("eventual", seed=7))
+        b = run_workload(quick_config("eventual", seed=7))
+        assert a.committed == b.committed
+        assert a.latency.mean == pytest.approx(b.latency.mean)
+
+
+class TestExperimentHelpers:
+    def test_figure4_point_structure(self):
+        points = figure4_transaction_length(lengths=(1, 4), protocols=("eventual",),
+                                            clients_per_cluster=1, duration_ms=200.0)
+        assert len(points) == 2
+        assert {p.x_value for p in points} == {1, 4}
+        assert all(p.figure == "fig4" for p in points)
+
+    def test_figure5_write_proportions(self):
+        points = figure5_write_proportion(write_proportions=(0.0, 1.0),
+                                          protocols=("eventual",),
+                                          clients_per_cluster=1, duration_ms=200.0)
+        assert {p.x_value for p in points} == {0.0, 1.0}
+
+    def test_report_formatting(self):
+        points = figure4_transaction_length(lengths=(1,), protocols=("eventual",),
+                                            clients_per_cluster=1, duration_ms=200.0)
+        table = format_series(points)
+        assert "fig4" in table and "eventual" in table
+        both = format_latency_and_throughput(points)
+        assert "mean_latency_ms" in both and "throughput_txn_s" in both
+
+    def test_empty_series(self):
+        assert format_series([]) == "(no data)"

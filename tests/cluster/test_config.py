@@ -1,0 +1,81 @@
+"""Unit tests for cluster configuration and replica placement."""
+
+import pytest
+
+from repro.cluster.config import Cluster, ClusterConfig, build_cluster_config
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def config():
+    return build_cluster_config(["VA", "OR", "IR"], servers_per_cluster=3)
+
+
+class TestCluster:
+    def test_requires_servers(self):
+        with pytest.raises(ReproError):
+            Cluster(name="empty", region="VA", servers=[])
+
+    def test_owner_is_one_of_the_servers(self):
+        cluster = Cluster(name="c", region="VA", servers=["a", "b", "c"])
+        assert cluster.owner_for("user1") in {"a", "b", "c"}
+
+
+class TestClusterConfig:
+    def test_requires_clusters(self):
+        with pytest.raises(ReproError):
+            ClusterConfig([])
+
+    def test_duplicate_cluster_names_rejected(self):
+        clusters = [Cluster("c", "VA", ["a"]), Cluster("c", "OR", ["b"])]
+        with pytest.raises(ReproError):
+            ClusterConfig(clusters)
+
+    def test_server_in_two_clusters_rejected(self):
+        clusters = [Cluster("c1", "VA", ["shared"]), Cluster("c2", "OR", ["shared"])]
+        with pytest.raises(ReproError):
+            ClusterConfig(clusters)
+
+    def test_one_replica_per_cluster(self, config):
+        replicas = config.replicas_for("user42")
+        assert len(replicas) == 3
+        clusters = {config.cluster_of_server(r) for r in replicas}
+        assert len(clusters) == 3
+
+    def test_replication_factor(self, config):
+        assert config.replication_factor() == 3
+
+    def test_local_replica_is_in_cluster(self, config):
+        name = config.cluster_names[0]
+        replica = config.local_replica_for("user42", name)
+        assert config.cluster_of_server(replica) == name
+
+    def test_master_is_a_replica(self, config):
+        for key in (f"user{i}" for i in range(30)):
+            assert config.master_for(key) in config.replicas_for(key)
+
+    def test_masters_spread_across_clusters(self, config):
+        masters = {config.cluster_of_server(config.master_for(f"user{i}"))
+                   for i in range(200)}
+        assert len(masters) > 1  # not all keys mastered in one datacenter
+
+    def test_peer_replicas_excludes_self(self, config):
+        key = "user7"
+        replicas = config.replicas_for(key)
+        peers = config.peer_replicas(key, replicas[0])
+        assert replicas[0] not in peers
+        assert len(peers) == 2
+
+    def test_unknown_lookups_rejected(self, config):
+        with pytest.raises(ReproError):
+            config.cluster("nope")
+        with pytest.raises(ReproError):
+            config.cluster_of_server("nope")
+
+    def test_build_cluster_config_validation(self):
+        with pytest.raises(ReproError):
+            build_cluster_config(["VA"], servers_per_cluster=0)
+
+    def test_all_servers_enumeration(self, config):
+        assert len(config.all_servers) == 9
+        assert len(set(config.all_servers)) == 9

@@ -1,0 +1,102 @@
+"""Unit tests for the server node's queueing and dispatch."""
+
+import pytest
+
+from repro.cluster.node import ServerNode, ServiceCostModel
+from repro.errors import ReproError
+from repro.net.latency import FixedLatencyModel
+from repro.net.network import Network
+from repro.net.partitions import PartitionManager
+from repro.net.topology import Topology
+from repro.sim import Environment, RandomStreams
+
+
+def make_rig(concurrency=1, overhead_ms=1.0):
+    env = Environment()
+    topology = Topology()
+    for name in ("server", "client"):
+        topology.add_site(name, region="VA")
+    network = Network(env, topology, FixedLatencyModel(0.5),
+                      streams=RandomStreams(0), partitions=PartitionManager())
+    node = ServerNode(env, network, "server",
+                      cost_model=ServiceCostModel(request_overhead_ms=overhead_ms,
+                                                  concurrency=concurrency))
+    network.register("client", lambda msg: None)
+    return env, network, node
+
+
+class TestServerNode:
+    def test_handler_reply_round_trip(self):
+        env, network, node = make_rig()
+        node.register_handler("echo", lambda msg: ({"echo": msg.payload}, 0.0))
+        future = network.rpc("client", "server", "echo", {"n": 1})
+        assert env.run_until_complete(future) == {"echo": {"n": 1}}
+        assert node.stats.requests == 1 and node.stats.replies == 1
+
+    def test_duplicate_handler_rejected(self):
+        _env, _network, node = make_rig()
+        node.register_handler("x", lambda msg: (None, 0.0))
+        with pytest.raises(ReproError):
+            node.register_handler("x", lambda msg: (None, 0.0))
+
+    def test_unknown_kind_gets_error_reply(self):
+        env, network, node = make_rig()
+        future = network.rpc("client", "server", "mystery", {})
+        reply = env.run_until_complete(future)
+        assert "error" in reply
+
+    def test_service_time_includes_extra_cost(self):
+        env, network, node = make_rig(overhead_ms=1.0)
+        node.register_handler("slow", lambda msg: ({"ok": True}, 10.0))
+        future = network.rpc("client", "server", "slow", {})
+        env.run_until_complete(future)
+        # 0.5 ms there + 11 ms service + 0.5 ms back.
+        assert env.now == pytest.approx(12.0)
+
+    def test_single_worker_serializes_requests(self):
+        env, network, node = make_rig(concurrency=1, overhead_ms=5.0)
+        node.register_handler("work", lambda msg: ({"ok": True}, 0.0))
+        futures = [network.rpc("client", "server", "work", {}) for _ in range(3)]
+        for future in futures:
+            env.run_until_complete(future)
+        # Three requests at 5 ms each on one worker finish no earlier than 15 ms
+        # service plus one network round trip.
+        assert env.now >= 15.0
+        assert node.stats.queue_wait_ms > 0
+
+    def test_concurrency_processes_in_parallel(self):
+        env, network, node = make_rig(concurrency=4, overhead_ms=5.0)
+        node.register_handler("work", lambda msg: ({"ok": True}, 0.0))
+        futures = [network.rpc("client", "server", "work", {}) for _ in range(3)]
+        for future in futures:
+            env.run_until_complete(future)
+        assert env.now == pytest.approx(6.0)  # all three overlap
+
+    def test_crash_drops_requests_and_recover_restores(self):
+        env, network, node = make_rig()
+        node.register_handler("echo", lambda msg: ({"ok": True}, 0.0))
+        node.crash()
+        dead = network.rpc("client", "server", "echo", {}, timeout_ms=20.0)
+        with pytest.raises(Exception):
+            env.run_until_complete(dead)
+        node.recover()
+        alive = network.rpc("client", "server", "echo", {})
+        assert env.run_until_complete(alive) == {"ok": True}
+
+    def test_utilization_bounded(self):
+        env, network, node = make_rig(concurrency=2, overhead_ms=2.0)
+        node.register_handler("work", lambda msg: ({"ok": True}, 0.0))
+        futures = [network.rpc("client", "server", "work", {}) for _ in range(5)]
+        for future in futures:
+            env.run_until_complete(future)
+        assert 0.0 < node.utilization(env.now) <= 1.0
+
+    def test_payload_size_adds_cost(self):
+        env, network, node = make_rig(overhead_ms=1.0)
+        node.register_handler("put", lambda msg: ({"ok": True}, 0.0))
+        small = network.rpc("client", "server", "put", {"size_bytes": 0})
+        env.run_until_complete(small)
+        small_time = env.now
+        big = network.rpc("client", "server", "put", {"size_bytes": 1024 * 100})
+        env.run_until_complete(big)
+        assert env.now - small_time > small_time

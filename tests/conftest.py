@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hat.testbed import Scenario, Testbed, build_testbed
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env() -> Environment:
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def small_testbed() -> Testbed:
+    """Two clusters (VA + OR), two servers each — the default integration rig."""
+    return build_testbed(Scenario(regions=["VA", "OR"], servers_per_cluster=2))
+
+
+@pytest.fixture
+def local_testbed() -> Testbed:
+    """A single-region, fixed-latency deployment for deterministic tests."""
+    return build_testbed(Scenario(regions=["VA"], servers_per_cluster=2,
+                                  fixed_latency_ms=1.0))
+
+
+def run_txn(testbed: Testbed, client, transaction):
+    """Run one transaction to completion and return its result."""
+    return testbed.env.run_until_complete(client.execute(transaction))
+
+
+@pytest.fixture
+def execute():
+    """Callable fixture: ``execute(testbed, client, transaction)``."""
+    return run_txn

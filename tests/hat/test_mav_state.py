@@ -1,0 +1,90 @@
+"""Unit tests for the MAV pending/good/acknowledgement state machine."""
+
+from repro.hat.mav_state import MAVState
+from repro.storage.records import Timestamp, Version
+
+
+def mav_write(key, value, seq, siblings):
+    return Version(key=key, value=value, timestamp=Timestamp(seq, 1),
+                   txn_id=seq, siblings=frozenset(siblings))
+
+
+class TestMAVState:
+    def test_add_write_dedupes(self):
+        state = MAVState(replication_factor=2)
+        version = mav_write("x", 1, 1, {"x", "y"})
+        assert state.add_write(version) is True
+        assert state.add_write(version) is False
+        assert state.pending_count() == 1
+
+    def test_expected_acks_is_siblings_times_replicas(self):
+        state = MAVState(replication_factor=3)
+        state.add_write(mav_write("x", 1, 1, {"x", "y"}))
+        entry = state._pending[Timestamp(1, 1)]
+        assert entry.expected_acks == 6
+
+    def test_not_stable_until_all_acks(self):
+        state = MAVState(replication_factor=2)
+        ts = Timestamp(1, 1)
+        state.add_write(mav_write("x", 1, 1, {"x", "y"}))
+        assert not state.is_stable(ts)
+        assert state.record_ack(ts, "r1", "x", expected_acks=4) is False
+        assert state.record_ack(ts, "r2", "x", expected_acks=4) is False
+        assert state.record_ack(ts, "r1", "y", expected_acks=4) is False
+        assert state.record_ack(ts, "r2", "y", expected_acks=4) is True
+        assert state.is_stable(ts)
+
+    def test_duplicate_acks_do_not_double_count(self):
+        state = MAVState(replication_factor=2)
+        ts = Timestamp(1, 1)
+        state.add_write(mav_write("x", 1, 1, {"x"}))
+        for _ in range(5):
+            state.record_ack(ts, "r1", "x", expected_acks=2)
+        assert not state.is_stable(ts)
+
+    def test_take_stable_writes_only_when_stable(self):
+        state = MAVState(replication_factor=1)
+        ts = Timestamp(1, 1)
+        version = mav_write("x", 1, 1, {"x"})
+        state.add_write(version)
+        assert state.take_stable_writes(ts) == []
+        state.record_ack(ts, "r1", "x", expected_acks=1)
+        taken = state.take_stable_writes(ts)
+        assert taken == [version]
+        assert state.pending_count() == 0
+        # Taking again returns nothing (already promoted).
+        assert state.take_stable_writes(ts) == []
+
+    def test_acks_arriving_before_write(self):
+        """Acknowledgements may arrive before the anti-entropied write does."""
+        state = MAVState(replication_factor=1)
+        ts = Timestamp(3, 1)
+        state.record_ack(ts, "r1", "x", expected_acks=2)
+        state.record_ack(ts, "r1", "y", expected_acks=2)
+        assert state.is_stable(ts)
+        version = mav_write("x", 1, 3, {"x", "y"})
+        state.add_write(version)
+        assert state.take_stable_writes(ts) == [version]
+
+    def test_read_pending_exact_timestamp(self):
+        state = MAVState(replication_factor=2)
+        ts = Timestamp(2, 1)
+        version = mav_write("x", "pending-value", 2, {"x", "y"})
+        state.add_write(version)
+        assert state.read_pending("x", ts) is version
+        assert state.read_pending("x", Timestamp(9, 9)) is None
+        assert state.read_pending("unknown", ts) is None
+
+    def test_read_pending_returns_newer_stable_version(self):
+        state = MAVState(replication_factor=1)
+        newer = mav_write("x", "newer", 5, {"x"})
+        state.add_write(newer)
+        state.record_ack(Timestamp(5, 1), "r1", "x", expected_acks=1)
+        found = state.read_pending("x", Timestamp(2, 1))
+        assert found is newer
+
+    def test_tracked_transactions(self):
+        state = MAVState(replication_factor=1)
+        state.add_write(mav_write("x", 1, 1, {"x"}))
+        state.add_write(mav_write("y", 1, 2, {"y"}))
+        assert state.tracked_transactions() == 2

@@ -1,0 +1,84 @@
+"""Unit tests for transactions, operations, and results."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.hat.transaction import (
+    Operation,
+    ReadObservation,
+    Transaction,
+    TransactionResult,
+    make_transaction,
+)
+from repro.storage.records import Timestamp, Version
+
+
+class TestOperation:
+    def test_read_constructor(self):
+        op = Operation.read("x")
+        assert op.is_read and not op.is_write and op.key == "x"
+
+    def test_write_constructor(self):
+        op = Operation.write("x", 42)
+        assert op.is_write and op.value == 42
+
+    def test_scan_constructor(self):
+        op = Operation.scan(lambda key, value: True, name="all")
+        assert op.is_scan and op.predicate_name == "all"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            Operation(kind="upsert", key="x")
+
+    def test_read_requires_key(self):
+        with pytest.raises(WorkloadError):
+            Operation(kind="read")
+
+    def test_scan_requires_predicate(self):
+        with pytest.raises(WorkloadError):
+            Operation(kind="scan")
+
+
+class TestTransaction:
+    def test_requires_operations(self):
+        with pytest.raises(WorkloadError):
+            Transaction(operations=[])
+
+    def test_unique_ids(self):
+        a = make_transaction([Operation.read("x")])
+        b = make_transaction([Operation.read("x")])
+        assert a.txn_id != b.txn_id
+
+    def test_read_and_write_keys(self):
+        txn = make_transaction([
+            Operation.write("a", 1),
+            Operation.read("b"),
+            Operation.write("c", 3),
+            Operation.read("a"),
+        ])
+        assert txn.read_keys == ["b", "a"]
+        assert txn.write_keys == ["a", "c"]
+        assert txn.accessed_keys() == ["a", "b", "c"]
+
+    def test_write_set_keeps_last_value(self):
+        txn = make_transaction([
+            Operation.write("x", 1),
+            Operation.write("x", 2),
+        ])
+        assert txn.write_set == {"x": 2}
+
+
+class TestTransactionResult:
+    def test_latency(self):
+        result = TransactionResult(txn_id=1, committed=True, protocol="eventual",
+                                   start_ms=10.0, end_ms=25.5)
+        assert result.latency_ms == pytest.approx(15.5)
+
+    def test_value_read_returns_latest_observation(self):
+        result = TransactionResult(txn_id=1, committed=True, protocol="eventual")
+        result.reads.append(ReadObservation(
+            key="x", version=Version("x", "first", Timestamp(1, 1))))
+        result.reads.append(ReadObservation(
+            key="x", version=Version("x", "second", Timestamp(2, 1))))
+        assert result.value_read("x") == "second"
+        assert result.value_read("missing") is None

@@ -1,0 +1,88 @@
+"""Tests for scripted fault schedules."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.hat.testbed import Scenario, build_testbed
+from repro.hat.transaction import Operation, Transaction
+from repro.net.faults import FaultSchedule
+
+
+@pytest.fixture
+def testbed():
+    return build_testbed(Scenario(regions=["VA", "OR"], servers_per_cluster=2))
+
+
+def run(testbed, client, operations):
+    return testbed.env.run_until_complete(
+        client.execute(Transaction(list(operations)))
+    )
+
+
+class TestScheduleConstruction:
+    def test_timeline_is_sorted(self, testbed):
+        schedule = FaultSchedule(testbed)
+        schedule.heal(at_ms=500.0)
+        schedule.partition_regions(at_ms=100.0, groups=[["VA"], ["OR"]])
+        timeline = schedule.timeline()
+        assert [event.at_ms for event in timeline] == [100.0, 500.0]
+
+    def test_negative_time_rejected(self, testbed):
+        with pytest.raises(NetworkError):
+            FaultSchedule(testbed).heal(at_ms=-1.0)
+
+    def test_unknown_server_rejected(self, testbed):
+        with pytest.raises(NetworkError):
+            FaultSchedule(testbed).crash_server(at_ms=10.0, server="ghost")
+
+    def test_double_install_rejected(self, testbed):
+        schedule = FaultSchedule(testbed)
+        schedule.heal(at_ms=10.0)
+        schedule.install()
+        with pytest.raises(NetworkError):
+            schedule.install()
+        with pytest.raises(NetworkError):
+            schedule.heal(at_ms=20.0)
+
+
+class TestScheduledPartition:
+    def test_partition_applies_and_heals_on_schedule(self, testbed):
+        schedule = FaultSchedule(testbed)
+        schedule.partition_regions(at_ms=1_000.0, groups=[["VA"], ["OR"]])
+        schedule.heal(at_ms=5_000.0)
+        schedule.install()
+
+        quorum_client = testbed.make_client("quorum")
+        # Before the partition: quorum writes succeed.
+        assert run(testbed, quorum_client, [Operation.write("a", 1)]).committed
+        # Advance into the partition window: quorum writes abort, HAT commits.
+        testbed.run(2_000.0)
+        assert not run(testbed, quorum_client, [Operation.write("b", 2)]).committed
+        hat_client = testbed.make_client("read-committed")
+        assert run(testbed, hat_client, [Operation.write("c", 3)]).committed
+        # Advance past the heal: quorum recovers.
+        testbed.run(20_000.0)
+        assert run(testbed, quorum_client, [Operation.write("d", 4)]).committed
+
+    def test_crash_and_recover_server(self, testbed):
+        victim = testbed.config.all_servers[0]
+        schedule = FaultSchedule(testbed)
+        schedule.crash_server(at_ms=100.0, server=victim, recover_after_ms=1_000.0)
+        schedule.install()
+        testbed.run(200.0)
+        assert not testbed.servers[victim].alive
+        testbed.run(2_000.0)
+        assert testbed.servers[victim].alive
+
+    def test_isolate_and_rejoin(self, testbed):
+        victim = testbed.config.all_servers[0]
+        schedule = FaultSchedule(testbed)
+        schedule.isolate_server(at_ms=50.0, server=victim)
+        schedule.rejoin_server(at_ms=500.0, server=victim)
+        schedule.install()
+        testbed.run(100.0)
+        assert not testbed.network.partitions.connected(victim,
+                                                        testbed.config.all_servers[1])
+        testbed.run(1_000.0)
+        assert testbed.network.partitions.connected(victim,
+                                                    testbed.config.all_servers[1])

@@ -1,0 +1,86 @@
+"""Unit tests for the latency models (calibrated to Table 1)."""
+
+import random
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.latency import (
+    EC2LatencyModel,
+    FixedLatencyModel,
+    TABLE_1C_RTT_MS,
+    cross_region_rtt,
+)
+from repro.net.topology import ec2_topology
+
+
+@pytest.fixture
+def model():
+    topology = ec2_topology(zones_per_region=2, hosts_per_zone=2)
+    return EC2LatencyModel(topology)
+
+
+class TestFixedLatencyModel:
+    def test_constant(self):
+        model = FixedLatencyModel(2.5)
+        rng = random.Random(0)
+        assert model.one_way(rng, "a", "b") == 2.5
+        assert model.mean_rtt("a", "b") == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetworkError):
+            FixedLatencyModel(-1.0)
+
+
+class TestCrossRegionTable:
+    def test_symmetric_lookup(self):
+        assert cross_region_rtt("CA", "OR") == cross_region_rtt("OR", "CA") == 22.5
+
+    def test_slowest_link_matches_paper(self):
+        # Sao Paulo <-> Singapore is the paper's slowest pair: 362.8 ms.
+        assert cross_region_rtt("SP", "SI") == pytest.approx(362.8)
+
+    def test_all_pairs_present(self):
+        regions = ["CA", "OR", "VA", "TO", "IR", "SY", "SP", "SI"]
+        for i, a in enumerate(regions):
+            for b in regions[i + 1:]:
+                assert cross_region_rtt(a, b) > 0
+
+    def test_same_region_rejected(self):
+        with pytest.raises(NetworkError):
+            cross_region_rtt("CA", "CA")
+
+
+class TestEC2LatencyModel:
+    def test_mean_rtt_by_scope(self, model):
+        # Same host < intra-AZ < inter-AZ < cross-region.
+        same = model.mean_rtt("VA-0-0", "VA-0-0")
+        intra = model.mean_rtt("VA-0-0", "VA-0-1")
+        inter = model.mean_rtt("VA-0-0", "VA-1-0")
+        cross = model.mean_rtt("VA-0-0", "OR-0-0")
+        assert same < intra < inter < cross
+
+    def test_cross_region_uses_table_1c(self, model):
+        assert model.mean_rtt("CA-0-0", "OR-0-0") == pytest.approx(22.5)
+        assert model.mean_rtt("SP-0-0", "SI-0-0") == pytest.approx(362.8)
+
+    def test_sample_mean_converges_to_calibration(self, model):
+        rng = random.Random(1)
+        samples = [model.sample_rtt(rng, "VA-0-0", "OR-0-0") for _ in range(4000)]
+        mean = sum(samples) / len(samples)
+        assert mean == pytest.approx(TABLE_1C_RTT_MS[("OR", "VA")], rel=0.1)
+
+    def test_samples_have_dispersion(self, model):
+        rng = random.Random(2)
+        samples = [model.sample_rtt(rng, "SP-0-0", "SI-0-0") for _ in range(1000)]
+        assert max(samples) > 1.3 * min(samples)
+
+    def test_samples_are_positive(self, model):
+        rng = random.Random(3)
+        for _ in range(200):
+            assert model.one_way(rng, "VA-0-0", "VA-0-1") > 0
+
+    def test_override_matrix(self):
+        topology = ec2_topology(regions=["CA", "OR"])
+        model = EC2LatencyModel(topology, cross_region_overrides={("CA", "OR"): 99.0})
+        assert model.mean_rtt("CA-0-0", "OR-0-0") == 99.0

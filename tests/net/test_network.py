@@ -1,0 +1,114 @@
+"""Unit tests for the message bus and RPC layer."""
+
+import pytest
+
+from repro.errors import NetworkError, RequestTimeout
+from repro.net.latency import FixedLatencyModel
+from repro.net.network import Network
+from repro.net.partitions import PartitionManager
+from repro.net.topology import Topology
+from repro.sim import Environment, RandomStreams
+
+
+def make_network(latency_ms=1.0):
+    env = Environment()
+    topology = Topology()
+    for name in ("a", "b", "c"):
+        topology.add_site(name, region="VA")
+    network = Network(env, topology, FixedLatencyModel(latency_ms),
+                      streams=RandomStreams(0), partitions=PartitionManager())
+    return env, network
+
+
+class TestSend:
+    def test_message_delivered_after_latency(self):
+        env, network = make_network(latency_ms=3.0)
+        received = []
+        network.register("b", lambda msg: received.append((env.now, msg.payload)))
+        network.send("a", "b", "hello", payload={"x": 1})
+        env.run()
+        assert received == [(3.0, {"x": 1})]
+        assert network.stats.delivered == 1
+
+    def test_unregistered_destination_drops_message(self):
+        env, network = make_network()
+        network.send("a", "c", "hello")
+        env.run()
+        assert network.stats.delivered == 0
+
+    def test_register_requires_known_site(self):
+        _env, network = make_network()
+        with pytest.raises(NetworkError):
+            network.register("ghost", lambda msg: None)
+
+    def test_double_register_rejected(self):
+        _env, network = make_network()
+        network.register("a", lambda msg: None)
+        with pytest.raises(NetworkError):
+            network.register("a", lambda msg: None)
+
+    def test_partition_drops_messages(self):
+        env, network = make_network()
+        received = []
+        network.register("b", lambda msg: received.append(msg))
+        network.partitions.partition([["a"], ["b"]])
+        network.send("a", "b", "hello")
+        env.run()
+        assert received == []
+        assert network.stats.dropped_partition == 1
+
+    def test_per_kind_counters(self):
+        env, network = make_network()
+        network.register("b", lambda msg: None)
+        network.send("a", "b", "put")
+        network.send("a", "b", "put")
+        network.send("a", "b", "get")
+        env.run()
+        assert network.stats.per_kind == {"put": 2, "get": 1}
+
+
+class TestRPC:
+    def test_request_reply_round_trip(self):
+        env, network = make_network(latency_ms=2.0)
+
+        def server(message):
+            network.reply(message, {"answer": message.payload["n"] * 2})
+
+        network.register("b", server)
+        network.register("a", lambda msg: None)
+        future = network.rpc("a", "b", "double", {"n": 21})
+        result = env.run_until_complete(future)
+        assert result == {"answer": 42}
+        assert env.now == pytest.approx(4.0)
+
+    def test_rpc_timeout_when_partitioned(self):
+        env, network = make_network()
+        network.register("b", lambda msg: None)
+        network.register("a", lambda msg: None)
+        network.partitions.partition([["a"], ["b"]])
+        future = network.rpc("a", "b", "ping", timeout_ms=50.0)
+        with pytest.raises(RequestTimeout):
+            env.run_until_complete(future)
+        assert env.now == pytest.approx(50.0)
+        assert network.stats.rpc_timeouts == 1
+
+    def test_rpc_timeout_when_server_silent(self):
+        env, network = make_network()
+        network.register("b", lambda msg: None)  # never replies
+        network.register("a", lambda msg: None)
+        future = network.rpc("a", "b", "ping", timeout_ms=20.0)
+        with pytest.raises(RequestTimeout):
+            env.run_until_complete(future)
+
+    def test_late_reply_after_timeout_is_ignored(self):
+        env, network = make_network(latency_ms=1.0)
+        stashed = []
+        network.register("b", lambda msg: stashed.append(msg))
+        network.register("a", lambda msg: None)
+        future = network.rpc("a", "b", "slow", timeout_ms=5.0)
+        # Reply only after the deadline has passed.
+        env.schedule(10.0, lambda: network.reply(stashed[0], {"too": "late"}))
+        with pytest.raises(RequestTimeout):
+            env.run_until_complete(future)
+        env.run()  # the late reply must not blow up
+        assert future.triggered and not future.ok

@@ -1,0 +1,69 @@
+"""Unit tests for partition injection."""
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.net.partitions import PartitionManager
+
+
+class TestPartitionManager:
+    def test_fully_connected_by_default(self):
+        manager = PartitionManager()
+        assert manager.connected("a", "b")
+        assert not manager.active
+
+    def test_partition_splits_groups(self):
+        manager = PartitionManager()
+        manager.partition([["a", "b"], ["c"]])
+        assert manager.connected("a", "b")
+        assert not manager.connected("a", "c")
+        assert not manager.connected("c", "b")
+        assert manager.active
+
+    def test_site_outside_all_groups_is_unreachable(self):
+        manager = PartitionManager()
+        manager.partition([["a", "b"]])
+        assert not manager.connected("a", "z")
+        assert not manager.connected("z", "a")
+
+    def test_self_connectivity_always_holds(self):
+        manager = PartitionManager()
+        manager.partition([["a"], ["b"]])
+        assert manager.connected("a", "a")
+        manager.isolate("a")
+        assert manager.connected("a", "a")
+
+    def test_overlapping_groups_rejected(self):
+        manager = PartitionManager()
+        with pytest.raises(NetworkError):
+            manager.partition([["a", "b"], ["b", "c"]])
+
+    def test_isolate_and_rejoin(self):
+        manager = PartitionManager()
+        manager.isolate("a")
+        assert not manager.connected("a", "b")
+        manager.rejoin("a")
+        assert manager.connected("a", "b")
+
+    def test_heal_restores_connectivity(self):
+        manager = PartitionManager()
+        manager.partition([["a"], ["b"]])
+        manager.isolate("c")
+        manager.heal()
+        assert manager.connected("a", "b")
+        assert manager.connected("c", "a")
+        assert not manager.active
+
+    def test_reachable_from_filters(self):
+        manager = PartitionManager()
+        manager.partition([["a", "b"], ["c", "d"]])
+        assert manager.reachable_from("a", ["b", "c", "d"]) == ["b"]
+
+    def test_describe_snapshot(self):
+        manager = PartitionManager()
+        manager.partition([["b", "a"]])
+        manager.isolate("z")
+        snapshot = manager.describe()
+        assert snapshot["groups"] == [["a", "b"]]
+        assert snapshot["isolated"] == ["z"]
+        assert snapshot["active"] is True

@@ -1,0 +1,97 @@
+"""Property-based tests for histories and phenomenon detectors.
+
+The key invariants: serial histories (each transaction reads only from the
+most recently committed writer, in commit order) never exhibit any anomaly;
+and detectors never crash on arbitrary well-formed histories.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adya.history import HistoryBuilder
+from repro.adya.levels import ISOLATION_LEVELS, check_history
+from repro.adya.phenomena import PHENOMENA
+
+KEYS = ["x", "y", "z"]
+
+
+@st.composite
+def serial_histories(draw):
+    """Generate a serial, single-copy history: transactions run one at a
+    time; reads observe the latest committed writer of the key."""
+    builder = HistoryBuilder()
+    latest_writer = {}
+    transaction_count = draw(st.integers(min_value=1, max_value=8))
+    for _ in range(transaction_count):
+        session = draw(st.integers(min_value=1, max_value=3))
+        txn = builder.transaction(session=session)
+        op_count = draw(st.integers(min_value=1, max_value=4))
+        writes = {}
+        for _ in range(op_count):
+            key = draw(st.sampled_from(KEYS))
+            if draw(st.booleans()):
+                value = draw(st.integers(min_value=0, max_value=100))
+                txn.write(key, value)
+                writes[key] = value
+            else:
+                if key in writes:
+                    txn.read(key, from_txn=txn.txn_id, value=writes[key])
+                else:
+                    writer, value = latest_writer.get(key, (None, None))
+                    txn.read(key, from_txn=writer, value=value)
+        for key, value in writes.items():
+            latest_writer[key] = (txn.txn_id, value)
+    return builder.build()
+
+
+@st.composite
+def arbitrary_histories(draw):
+    """Generate arbitrary (possibly anomalous) well-formed histories."""
+    builder = HistoryBuilder()
+    transaction_count = draw(st.integers(min_value=1, max_value=6))
+    handles = []
+    for _ in range(transaction_count):
+        session = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=2)))
+        txn = builder.transaction(session=session)
+        handles.append(txn)
+        for _ in range(draw(st.integers(min_value=1, max_value=3))):
+            key = draw(st.sampled_from(KEYS))
+            if draw(st.booleans()):
+                txn.write(key, draw(st.integers(min_value=0, max_value=9)))
+            else:
+                source = draw(st.one_of(
+                    st.none(), st.sampled_from([h.txn_id for h in handles])))
+                txn.read(key, from_txn=source, value=None)
+        if draw(st.integers(min_value=0, max_value=9)) == 0:
+            txn.abort()
+    return builder.build()
+
+
+class TestSerialHistoriesAreClean:
+    @given(serial_histories())
+    @settings(max_examples=50, deadline=None)
+    def test_serial_histories_satisfy_every_level(self, history):
+        for name in ISOLATION_LEVELS:
+            report = check_history(history, name)
+            assert report.satisfied, f"{name} violated in a serial history:\n{report}"
+
+
+class TestDetectorRobustness:
+    @given(arbitrary_histories())
+    @settings(max_examples=50, deadline=None)
+    def test_detectors_never_crash(self, history):
+        for name, phenomenon in PHENOMENA.items():
+            witnesses = phenomenon.detect(history)
+            for witness in witnesses:
+                assert witness.phenomenon == name
+                assert witness.transactions
+
+    @given(arbitrary_histories())
+    @settings(max_examples=50, deadline=None)
+    def test_stronger_levels_flag_supersets_of_weaker_levels(self, history):
+        """If a weaker level is violated, every stronger level (by prohibited-
+        phenomena inclusion) is violated too."""
+        reports = {name: check_history(history, name) for name in ISOLATION_LEVELS}
+        for weak_name, weak in ISOLATION_LEVELS.items():
+            for strong_name, strong in ISOLATION_LEVELS.items():
+                if weak.prohibits <= strong.prohibits and not reports[weak_name].satisfied:
+                    assert not reports[strong_name].satisfied

@@ -1,0 +1,97 @@
+"""Property-based tests (hypothesis) for the storage substrate."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.kvstore import VersionedStore
+from repro.storage.records import Timestamp, Version, last_writer_wins
+
+timestamps = st.builds(Timestamp,
+                       sequence=st.integers(min_value=0, max_value=1000),
+                       client_id=st.integers(min_value=0, max_value=20))
+
+versions = st.builds(
+    Version,
+    key=st.sampled_from(["a", "b", "c"]),
+    value=st.integers(),
+    timestamp=timestamps,
+    txn_id=st.integers(min_value=1, max_value=10_000),
+)
+
+
+class TestTimestampProperties:
+    @given(timestamps, timestamps)
+    def test_total_order(self, a, b):
+        assert (a < b) + (b < a) + (a == b) == 1
+
+    @given(timestamps, timestamps, timestamps)
+    def test_transitivity(self, a, b, c):
+        if a < b and b < c:
+            assert a < c
+
+
+class TestLastWriterWinsProperties:
+    @given(versions, versions)
+    def test_commutative(self, a, b):
+        assert last_writer_wins(a, b) == last_writer_wins(b, a) or \
+            last_writer_wins(a, b).timestamp == last_writer_wins(b, a).timestamp
+
+    @given(versions, versions, versions)
+    def test_associative_on_timestamps(self, a, b, c):
+        left = last_writer_wins(last_writer_wins(a, b), c)
+        right = last_writer_wins(a, last_writer_wins(b, c))
+        assert left.timestamp == right.timestamp
+
+    @given(versions)
+    def test_idempotent(self, a):
+        assert last_writer_wins(a, a) is a
+
+
+class TestVersionedStoreProperties:
+    @given(st.lists(versions, max_size=40))
+    @settings(max_examples=60)
+    def test_latest_has_max_timestamp(self, batch):
+        """After any install sequence, latest() per key is the max-timestamp
+        version among the installs that succeeded (convergence / LWW)."""
+        store = VersionedStore()
+        accepted = {}
+        for version in batch:
+            if store.install(version):
+                current = accepted.get(version.key)
+                accepted[version.key] = last_writer_wins(current, version)
+        for key, expected in accepted.items():
+            assert store.latest(key).timestamp == expected.timestamp
+
+    @given(st.lists(versions, max_size=40))
+    @settings(max_examples=60)
+    def test_install_order_does_not_matter(self, batch):
+        """Replica convergence: any two replicas that receive the same set of
+        versions in different orders agree on every latest value."""
+        forward, backward = VersionedStore(), VersionedStore()
+        for version in batch:
+            forward.install(version)
+        for version in reversed(batch):
+            backward.install(version)
+        keys = set(list(forward.keys()) + list(backward.keys()))
+        for key in keys:
+            assert forward.latest(key).timestamp == backward.latest(key).timestamp
+
+    @given(st.lists(versions, max_size=40))
+    @settings(max_examples=60)
+    def test_versions_sorted_by_timestamp(self, batch):
+        store = VersionedStore()
+        for version in batch:
+            store.install(version)
+        for key in store.keys():
+            stamps = [v.timestamp for v in store.versions(key)]
+            assert stamps == sorted(stamps)
+
+    @given(st.lists(versions, max_size=30), timestamps)
+    @settings(max_examples=60)
+    def test_latest_at_or_before_respects_bound(self, batch, bound):
+        store = VersionedStore()
+        for version in batch:
+            store.install(version)
+        for key in store.keys():
+            found = store.latest_at_or_before(key, bound)
+            if found is not None:
+                assert found.timestamp <= bound

@@ -1,0 +1,47 @@
+"""Unit tests for quorum assembly."""
+
+import pytest
+
+from repro.errors import UnavailableError
+from repro.replication.quorum import quorum_of
+from repro.sim import Environment
+
+
+class TestQuorumOf:
+    def test_resolves_with_first_k_successes(self):
+        env = Environment()
+        futures = [env.timeout(delay, value=f"r{i}")
+                   for i, delay in enumerate([5.0, 1.0, 3.0])]
+        result = env.run_until_complete(quorum_of(env, futures, 2))
+        assert len(result) == 2
+        assert env.now == pytest.approx(3.0)  # returns before the slowest
+
+    def test_failures_do_not_block_if_quorum_still_possible(self):
+        env = Environment()
+        failing = env.future()
+        env.schedule(1.0, lambda: failing.fail(RuntimeError("down")))
+        futures = [failing, env.timeout(2.0, value="a"), env.timeout(3.0, value="b")]
+        result = env.run_until_complete(quorum_of(env, futures, 2))
+        assert sorted(result) == ["a", "b"]
+
+    def test_fails_when_quorum_unreachable(self):
+        env = Environment()
+        failures = []
+        for index in range(2):
+            future = env.future()
+            env.schedule(float(index + 1), lambda f=future: f.fail(RuntimeError("down")))
+            failures.append(future)
+        futures = failures + [env.timeout(10.0, value="only success")]
+        with pytest.raises(UnavailableError):
+            env.run_until_complete(quorum_of(env, futures, 2))
+        assert env.now < 10.0  # failed fast, did not wait for the success
+
+    def test_requires_enough_inputs(self):
+        env = Environment()
+        quorum = quorum_of(env, [env.timeout(1.0)], required=2)
+        with pytest.raises(UnavailableError):
+            env.run_until_complete(quorum)
+
+    def test_zero_required_resolves_immediately(self):
+        env = Environment()
+        assert env.run_until_complete(quorum_of(env, [env.timeout(5.0)], 0)) == []

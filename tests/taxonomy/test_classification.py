@@ -1,0 +1,52 @@
+"""Unit tests for the Table 3 availability classification."""
+
+from repro.hat.protocols import HAT_PROTOCOLS, NON_HAT_PROTOCOLS, protocol_info
+from repro.taxonomy.classification import (
+    availability_summary,
+    classify,
+    cross_check_with_levels,
+    unavailability_reasons,
+)
+from repro.taxonomy.models import PREVENTS_LOST_UPDATE, REQUIRES_RECENCY
+
+
+class TestAvailabilitySummary:
+    def test_table_3_shape(self):
+        summary = availability_summary()
+        assert summary.highly_available == sorted(
+            ["I-CI", "MAV", "MR", "MW", "P-CI", "RC", "RU", "WFR"])
+        assert summary.sticky_available == sorted(["Causal", "PRAM", "RYW"])
+        assert len(summary.unavailable) == 9
+
+    def test_causes_attached_to_unavailable_models(self):
+        summary = availability_summary()
+        for code in summary.unavailable:
+            assert summary.causes[code]
+
+    def test_rendered_table_mentions_all_rows(self):
+        text = availability_summary().as_table()
+        assert "HA" in text and "Sticky" in text and "Unavailable" in text
+        assert "MAV" in text and "Causal" in text and "SI" in text
+
+    def test_unavailability_reasons(self):
+        reasons = unavailability_reasons()
+        assert PREVENTS_LOST_UPDATE in reasons["SI"]
+        assert REQUIRES_RECENCY in reasons["Linearizable"]
+        assert "RC" not in reasons
+
+    def test_classify_single_model(self):
+        assert classify("MAV").is_hat
+        assert not classify("Strong-1SR").is_hat
+
+
+class TestCrossChecks:
+    def test_classification_consistent_with_level_definitions(self):
+        assert cross_check_with_levels() == []
+
+    def test_protocol_registry_agrees_with_taxonomy(self):
+        """Every implemented HAT protocol must target a HAT-compliant model,
+        and every non-HAT protocol a non-HAT model."""
+        for name in HAT_PROTOCOLS:
+            assert protocol_info(name).highly_available
+        for name in NON_HAT_PROTOCOLS:
+            assert not protocol_info(name).highly_available

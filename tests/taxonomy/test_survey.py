@@ -1,0 +1,47 @@
+"""Unit tests for the Table 2 database isolation survey."""
+
+from repro.taxonomy.survey import (
+    DATABASE_SURVEY,
+    default_model_code,
+    format_table_2,
+    survey_statistics,
+)
+
+
+class TestSurveyData:
+    def test_eighteen_databases(self):
+        assert len(DATABASE_SURVEY) == 18
+        assert len({entry.database for entry in DATABASE_SURVEY}) == 18
+
+    def test_section_3_headline_numbers(self):
+        stats = survey_statistics()
+        # "only three out of 18 databases provided serializability by default"
+        assert stats.serializable_by_default == 3
+        # "eight did not provide serializability as an option at all"
+        assert stats.no_serializability_option == 8
+
+    def test_oracle_default_is_read_committed_max_snapshot(self):
+        oracle = next(e for e in DATABASE_SURVEY if e.database == "Oracle 11g")
+        assert oracle.default == "RC" and oracle.maximum == "SI"
+        assert not oracle.offers_serializability
+
+    def test_read_committed_is_the_most_common_default(self):
+        """The pragmatic takeaway: the single most common default (Read
+        Committed, 8 of 18 databases) is achievable with high availability."""
+        stats = survey_statistics()
+        rc_defaults = sum(1 for e in DATABASE_SURVEY if e.default == "RC")
+        assert rc_defaults == 8
+        assert stats.default_hat_achievable == rc_defaults
+        # Every database whose default is HAT-achievable defaults to RC here.
+        assert stats.default_hat_achievable + stats.default_not_hat_achievable == 17
+
+    def test_default_model_mapping(self):
+        postgres = next(e for e in DATABASE_SURVEY if "Postgres" in e.database)
+        assert default_model_code(postgres) == "RC"
+        informix = next(e for e in DATABASE_SURVEY if "Informix" in e.database)
+        assert default_model_code(informix) is None  # "Depends"
+
+    def test_formatted_table_lists_every_database(self):
+        text = format_table_2()
+        for entry in DATABASE_SURVEY:
+            assert entry.database in text

@@ -1,0 +1,91 @@
+"""Unit tests for the Section 6.2 TPC-C HAT-compliance analysis."""
+
+from repro.workloads.tpcc import (
+    DELIVERY,
+    NEW_ORDER,
+    ORDER_STATUS,
+    PAYMENT,
+    STOCK_LEVEL,
+    TPCCConfig,
+    TPCCWorkload,
+)
+from repro.workloads.tpcc_analysis import (
+    TPCC_TRANSACTION_PROFILES,
+    check_condition_1,
+    check_no_negative_stock,
+    check_sequential_order_ids,
+    check_state,
+    check_unique_order_ids,
+    hat_compliance_table,
+    hat_executable_count,
+)
+
+
+class TestProfiles:
+    def test_four_of_five_hat_executable(self):
+        executable, total = hat_executable_count()
+        assert (executable, total) == (4, 5)
+
+    def test_read_only_transactions_are_hat(self):
+        assert TPCC_TRANSACTION_PROFILES[ORDER_STATUS].hat_executable
+        assert TPCC_TRANSACTION_PROFILES[STOCK_LEVEL].hat_executable
+        assert TPCC_TRANSACTION_PROFILES[ORDER_STATUS].read_only
+
+    def test_payment_is_monotonic_and_needs_mav(self):
+        payment = TPCC_TRANSACTION_PROFILES[PAYMENT]
+        assert payment.monotonic and payment.hat_executable
+        assert payment.weakest_sufficient_model == "MAV"
+
+    def test_new_order_needs_lost_update_prevention_for_sequential_ids(self):
+        new_order = TPCC_TRANSACTION_PROFILES[NEW_ORDER]
+        assert new_order.requires_sequential_ids
+        assert new_order.requires_lost_update_prevention
+        assert new_order.hat_executable  # with unique (not sequential) ids
+
+    def test_delivery_is_the_unavailable_transaction(self):
+        delivery = TPCC_TRANSACTION_PROFILES[DELIVERY]
+        assert not delivery.hat_executable
+        assert delivery.weakest_sufficient_model == "1SR"
+
+    def test_table_rendering(self):
+        text = hat_compliance_table()
+        for name in TPCC_TRANSACTION_PROFILES:
+            assert name in text
+
+
+class TestConsistencyCheckers:
+    def test_condition_1_balanced(self):
+        warehouse = {1: 300.0}
+        districts = {(1, 1): 100.0, (1, 2): 200.0}
+        assert check_condition_1(warehouse, districts) == []
+
+    def test_condition_1_violation(self):
+        warehouse = {1: 250.0}
+        districts = {(1, 1): 100.0, (1, 2): 200.0}
+        violations = check_condition_1(warehouse, districts)
+        assert len(violations) == 1
+        assert "warehouse 1" in violations[0].subject
+
+    def test_sequential_ids_checker(self):
+        assert check_sequential_order_ids({(1, 1): [1, 2, 3]}) == []
+        assert check_sequential_order_ids({(1, 1): [1, 3]})  # gap
+        assert check_sequential_order_ids({(1, 1): [1, 2, 2]})  # duplicate
+
+    def test_unique_ids_checker(self):
+        assert check_unique_order_ids({(1, 1): [1, 3, 7]}) == []
+        assert check_unique_order_ids({(1, 1): [1, 1]})
+
+    def test_negative_stock_checker(self):
+        assert check_no_negative_stock({(1, 1): 5}) == []
+        assert check_no_negative_stock({(1, 1): -3})
+
+    def test_driver_state_satisfies_all_conditions(self):
+        workload = TPCCWorkload(TPCCConfig(warehouses=1, districts_per_warehouse=2,
+                                           customers_per_district=5, items=20), seed=3)
+        for _ in range(100):
+            workload.next_transaction()
+        report = check_state(workload.state)
+        assert report["condition_1"] == []
+        assert report["sequential_ids"] == []
+        assert report["unique_ids"] == []
+        assert report["non_negative_stock"] == []

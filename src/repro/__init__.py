@@ -29,6 +29,8 @@ Quickstart::
 """
 
 from repro.hat import (
+    ALL_PROTOCOLS,
+    COMPOSITE_PROTOCOLS,
     HAT_PROTOCOLS,
     NON_HAT_PROTOCOLS,
     Operation,
@@ -37,6 +39,8 @@ from repro.hat import (
     Transaction,
     TransactionResult,
     build_testbed,
+    parse_spec,
+    protocol_info,
 )
 
 __version__ = "0.1.0"
@@ -48,6 +52,10 @@ __all__ = [
     "Scenario",
     "Testbed",
     "build_testbed",
+    "parse_spec",
+    "protocol_info",
+    "ALL_PROTOCOLS",
+    "COMPOSITE_PROTOCOLS",
     "HAT_PROTOCOLS",
     "NON_HAT_PROTOCOLS",
     "__version__",

@@ -358,31 +358,49 @@ def detect_missing_read_write_dependency(history: History) -> List[Witness]:
     """MRWD (writes-follow-reads violation).
 
     If T2 read T1's write to x and then wrote y, any transaction that reads
-    T2's y must not read x from a version older than T1's.
+    T2's y must not *subsequently* read x from a version older than T1's.
+    The "read ... then wrote" dependency is session-scoped, matching the
+    paper's definition of the guarantee: a write follows everything its
+    *session* has observed in earlier transactions, not only reads inside
+    the writing transaction itself.  Like the OTV detector, read order
+    inside the observer matters: causal consistency orders writes after the
+    writes they depend on, but it never requires snapshot behaviour of reads
+    issued *before* the dependent write was observed.
     """
     witnesses = []
-    committed = history.committed()
-    # Map: writer txn -> {key: set of source txns it read from before writing}
+    committed = sorted(history.committed(), key=lambda t: t.commit_order)
+    # Map: writer txn -> {(key, source txn)} it (or its session) read before
+    # writing.  Dependencies are deduplicated (key, writer) pairs — sessions
+    # re-read the same versions constantly, and copying the raw read log
+    # into every writing transaction would be quadratic in history length.
     read_before_write: Dict[int, List] = {}
+    session_reads: Dict[int, Dict] = {}
     for transaction in committed:
-        dependencies = []
+        dependencies: Dict = {}
+        if transaction.session_id is not None:
+            dependencies.update(session_reads.get(transaction.session_id, {}))
+        own_reads: Dict = {}
         for read in transaction.reads:
             if read.writer_txn is INITIAL or read.writer_txn == transaction.txn_id:
                 continue
-            dependencies.append((read.key, read.writer_txn))
+            own_reads[(read.key, read.writer_txn)] = None
+        dependencies.update(own_reads)
         if dependencies and transaction.write_keys():
-            read_before_write[transaction.txn_id] = dependencies
+            read_before_write[transaction.txn_id] = list(dependencies)
+        if transaction.session_id is not None:
+            session_reads.setdefault(transaction.session_id, {}).update(own_reads)
     for observer in committed:
-        observed_writers = {
-            read.writer_txn for read in observer.reads
-            if read.writer_txn is not INITIAL and read.writer_txn != observer.txn_id
-        }
-        for writer in observed_writers:
+        observed_at: Dict[int, int] = {}
+        for read in observer.reads:
+            if read.writer_txn is INITIAL or read.writer_txn == observer.txn_id:
+                continue
+            observed_at.setdefault(read.writer_txn, read.index)
+        for writer, first_index in observed_at.items():
             for dep_key, dep_writer in read_before_write.get(writer, []):
                 if dep_writer not in history.transactions:
                     continue
                 for read in observer.reads:
-                    if read.key != dep_key:
+                    if read.key != dep_key or read.index <= first_index:
                         continue
                     observed_pos = history.version_position(dep_key, read.writer_txn)
                     required_pos = history.version_position(dep_key, dep_writer)
@@ -392,8 +410,8 @@ def detect_missing_read_write_dependency(history: History) -> List[Witness]:
                             transactions=[dep_writer, writer, observer.txn_id],
                             description=(
                                 f"T{observer.txn_id} observed T{writer} (which read "
-                                f"T{dep_writer}'s {dep_key!r}) but read {dep_key!r} "
-                                f"from an older version"
+                                f"T{dep_writer}'s {dep_key!r}) but then read "
+                                f"{dep_key!r} from an older version"
                             ),
                         ))
     return witnesses

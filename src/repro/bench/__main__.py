@@ -17,6 +17,7 @@ import sys
 from typing import Callable, Dict
 
 from repro.bench.experiments import (
+    composite_guarantee_sweep,
     figure3_geo_replication,
     figure4_transaction_length,
     figure5_write_proportion,
@@ -91,6 +92,15 @@ def _fig6(quick: bool) -> str:
     return format_series(points, value="throughput_txn_s")
 
 
+def _composite(quick: bool) -> str:
+    points = composite_guarantee_sweep(
+        client_counts=(2,) if quick else (2, 8, 16),
+        duration_ms=300.0 if quick else 1500.0,
+    )
+    return ("Composite guarantee stacks (registry specs) on VA+OR\n"
+            + format_latency_and_throughput(points))
+
+
 def _tpcc(quick: bool) -> str:
     return "Section 6.2: TPC-C HAT compliance\n" + hat_compliance_table()
 
@@ -104,6 +114,7 @@ ARTIFACTS: Dict[str, Callable[[bool], str]] = {
     "fig4": _fig4,
     "fig5": _fig5,
     "fig6": _fig6,
+    "composite": _composite,
     "tpcc": _tpcc,
 }
 

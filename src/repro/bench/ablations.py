@@ -19,7 +19,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.bench.metrics import LatencySummary
 from repro.bench.runner import RunConfig, run_workload
 from repro.hat.protocols import MASTER, QUORUM, READ_COMMITTED, TWO_PHASE_LOCKING
-from repro.hat.sessions import SessionClient
 from repro.hat.testbed import Scenario, build_testbed
 from repro.hat.transaction import Operation, Transaction
 from repro.workloads.ycsb import YCSBConfig
@@ -114,10 +113,8 @@ def stickiness_ablation(sessions: int = 10, seed: int = 0) -> StickinessResult:
                                              servers_per_cluster=2,
                                              seed=seed + index))
             home = testbed.config.cluster_names[0]
-            session = SessionClient(
-                testbed.make_client(READ_COMMITTED, home_cluster=home),
-                sticky=sticky,
-            )
+            session = testbed.make_client(f"{READ_COMMITTED}+ryw",
+                                          home_cluster=home, sticky=sticky)
             key = f"session-{index}"
             testbed.env.run_until_complete(session.execute(
                 Transaction([Operation.write(key, "mine")])
@@ -137,6 +134,54 @@ def stickiness_ablation(sessions: int = 10, seed: int = 0) -> StickinessResult:
         non_sticky_violations=run(sticky=False),
         sessions=sessions,
     )
+
+
+# ---------------------------------------------------------------------------
+# Session-layer overhead
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LayerOverheadPoint:
+    """Throughput/latency of one guarantee stack versus its bare base."""
+
+    protocol: str
+    throughput_txn_s: float
+    mean_latency_ms: float
+    remote_rpc_fraction: float
+
+
+def session_layer_overhead(
+    protocols: Sequence[str] = (READ_COMMITTED, f"{READ_COMMITTED}+causal",
+                                "mav", "mav+causal"),
+    clients_per_cluster: int = 2,
+    duration_ms: float = 600.0,
+    seed: int = 0,
+) -> List[LayerOverheadPoint]:
+    """Measure what stacking the session guarantees costs on a healthy network.
+
+    The layers' dependency forwarding only fires on failover, so on an
+    unpartitioned deployment a stacked client should track its base protocol
+    closely — this ablation quantifies the claim.
+    """
+    points: List[LayerOverheadPoint] = []
+    for protocol in protocols:
+        config = RunConfig(
+            protocol=protocol,
+            scenario=Scenario(regions=["VA", "OR"], servers_per_cluster=2,
+                              seed=seed),
+            workload=YCSBConfig(key_count=500),
+            clients_per_cluster=clients_per_cluster,
+            duration_ms=duration_ms,
+            seed=seed,
+        )
+        stats = run_workload(config)
+        points.append(LayerOverheadPoint(
+            protocol=protocol,
+            throughput_txn_s=stats.throughput_txn_s,
+            mean_latency_ms=stats.latency.mean,
+            remote_rpc_fraction=stats.remote_rpc_fraction,
+        ))
+    return points
 
 
 # ---------------------------------------------------------------------------

@@ -22,6 +22,10 @@ from repro.workloads.ycsb import YCSBConfig
 #: The four configurations plotted in Figures 3-6.
 FIGURE_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, MASTER)
 
+#: Guarantee stacks for the composite sweep: each single-guarantee HAT base
+#: next to the paper's strongest sticky-available combinations (Section 5.3).
+COMPOSITE_SWEEP_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal", "mav+causal")
+
 
 @dataclass
 class ExperimentPoint:
@@ -102,6 +106,43 @@ def figure3_geo_replication(
             )
             stats = run_workload(config)
             points.append(_point(f"fig3{deployment}", "clients",
+                                 config.total_clients, stats))
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Composite guarantee stacks (beyond the paper's figures)
+# ---------------------------------------------------------------------------
+
+def composite_guarantee_sweep(
+    protocols: Sequence[str] = COMPOSITE_SWEEP_PROTOCOLS,
+    client_counts: Sequence[int] = (2, 8),
+    duration_ms: float = 800.0,
+    servers_per_cluster: int = 2,
+    seed: int = 0,
+) -> List[ExperimentPoint]:
+    """Latency/throughput of stacked protocols on the two-region deployment.
+
+    The paper argues the session guarantees are achievable without giving up
+    HAT latency; this sweep quantifies it by running the registry's composite
+    specs (``causal``, ``mav+causal``) beside their single-guarantee bases
+    under the Figure 3B methodology.
+    """
+    points: List[ExperimentPoint] = []
+    for protocol in protocols:
+        for clients in client_counts:
+            scenario = Scenario(regions=["VA", "OR"],
+                                servers_per_cluster=servers_per_cluster, seed=seed)
+            config = RunConfig(
+                protocol=protocol,
+                scenario=scenario,
+                workload=YCSBConfig(),
+                clients_per_cluster=max(1, clients // len(scenario.cluster_regions())),
+                duration_ms=duration_ms,
+                seed=seed,
+            )
+            stats = run_workload(config)
+            points.append(_point("composite", "clients",
                                  config.total_clients, stats))
     return points
 

@@ -1,26 +1,46 @@
 """Highly Available Transactions: the paper's core contribution.
 
-This package contains the proof-of-concept HAT algorithms of Section 5 and
-Appendix B, the non-HAT baselines of Section 6.3, and the testbed that wires
-them onto the simulated cluster substrate:
+This package implements the proof-of-concept HAT algorithms of Section 5 and
+Appendix B as a **layered guarantee stack**: a shared replica-access core
+plus composable per-guarantee layers, assembled by name through a protocol
+registry.  That mirrors the paper's composability result — Read Committed,
+Monotonic Atomic View, cut isolation, and the four session guarantees stack
+freely, and causal consistency + MAV is the strongest combination achievable
+with sticky availability (Figure 2, Section 5.3).
 
 * :mod:`repro.hat.transaction` — operations, transactions, results.
 * :mod:`repro.hat.server` — the server-side handlers for every protocol
   (eventual/RC writes, the MAV pending/good/notify machinery, master
   replication, the 2PL lock service, and quorum reads/writes).
-* :mod:`repro.hat.clients` — one client per protocol; each client presents
-  the same ``execute(operations)`` interface so workloads and benchmarks are
-  protocol-agnostic.
-* :mod:`repro.hat.sessions` — session guarantees (monotonic reads/writes,
-  writes-follow-reads, read-your-writes) layered over a base client.
-* :mod:`repro.hat.cut_isolation` — Item and Predicate Cut Isolation via
-  client-side caching.
+* :mod:`repro.hat.clients` — the replica-access core
+  (:class:`~repro.hat.clients.base.LayeredClient`) and the bespoke non-HAT
+  baselines; :func:`~repro.hat.clients.build_client` assembles a stacked
+  client from a registry spec.
+* :mod:`repro.hat.layers` — the guarantee layers: write buffering (RC),
+  atomic visibility (MAV), cut isolation, and the four session guarantees
+  (MR/MW/WFR/RYW) with their shared session cache and dependency forwarding.
+* :mod:`repro.hat.protocols` — the registry: parses specs such as ``"rc"``,
+  ``"mav+wfr+mr"``, or ``"causal"`` (all four session guarantees, sticky),
+  derives each stack's availability class from the Table 3 taxonomy, and
+  registers ``causal`` and ``mav+causal`` as first-class protocols.
+* :mod:`repro.hat.sessions` / :mod:`repro.hat.cut_isolation` — legacy
+  wrapper interfaces over the same layer logic.
 * :mod:`repro.hat.testbed` — builds a full simulated deployment (topology,
-  network, clusters, servers, anti-entropy, clients) from a scenario.
+  network, clusters, servers, anti-entropy, clients) from a scenario;
+  ``make_client`` accepts any registry spec.
 """
 
 from repro.hat.transaction import Operation, Transaction, TransactionResult
-from repro.hat.protocols import Protocol, HAT_PROTOCOLS, NON_HAT_PROTOCOLS
+from repro.hat.protocols import (
+    ALL_PROTOCOLS,
+    COMPOSITE_PROTOCOLS,
+    HAT_PROTOCOLS,
+    NON_HAT_PROTOCOLS,
+    Protocol,
+    ProtocolSpec,
+    parse_spec,
+    protocol_info,
+)
 from repro.hat.testbed import Scenario, Testbed, build_testbed
 
 __all__ = [
@@ -28,6 +48,11 @@ __all__ = [
     "Transaction",
     "TransactionResult",
     "Protocol",
+    "ProtocolSpec",
+    "parse_spec",
+    "protocol_info",
+    "ALL_PROTOCOLS",
+    "COMPOSITE_PROTOCOLS",
     "HAT_PROTOCOLS",
     "NON_HAT_PROTOCOLS",
     "Scenario",

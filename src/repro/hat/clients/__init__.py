@@ -1,26 +1,95 @@
 """Protocol clients.
 
 Each client exposes ``execute(transaction)`` returning a simulation process
-whose value is a :class:`~repro.hat.transaction.TransactionResult`.  Clients
-differ only in *how* they talk to replicas, which is exactly the point the
-paper makes: the same operations, run through a HAT client, never wait on
-cross-datacenter coordination, while the non-HAT clients must.
+whose value is a :class:`~repro.hat.transaction.TransactionResult`.  The HAT
+clients are all the same :class:`~repro.hat.clients.base.LayeredClient`
+replica-access core under different guarantee-layer stacks — which is
+exactly the point the paper makes: the guarantees compose, and none of them
+ever waits on cross-datacenter coordination.  The non-HAT baselines (master,
+two-phase locking, quorum) must coordinate, and therefore remain bespoke
+subclasses of :class:`~repro.hat.clients.base.ProtocolClient`.
+
+:func:`build_client` is the registry's constructor: it parses a protocol
+spec such as ``"mav+causal"`` and assembles the corresponding stacked
+client.
 """
 
-from repro.hat.clients.base import ProtocolClient
+from typing import List, Optional
+
+from repro.hat.clients.base import (
+    DEFAULT_VALUE_BYTES,
+    LayeredClient,
+    ProtocolClient,
+)
 from repro.hat.clients.eventual import EventualClient
 from repro.hat.clients.read_committed import ReadCommittedClient
 from repro.hat.clients.mav import MAVClient
 from repro.hat.clients.master import MasterClient
 from repro.hat.clients.locking import TwoPhaseLockingClient
 from repro.hat.clients.quorum import QuorumClient
+from repro.hat.layers import (
+    CutIsolationLayer,
+    SESSION_LAYER_CLASSES,
+    SessionState,
+)
+from repro.hat.protocols import (
+    EVENTUAL,
+    MASTER,
+    MAV,
+    NON_HAT_PROTOCOLS,
+    QUORUM,
+    READ_COMMITTED,
+    TWO_PHASE_LOCKING,
+    parse_spec,
+)
+
+#: Base-protocol token -> client class.
+BASE_CLIENT_CLASSES = {
+    EVENTUAL: EventualClient,
+    READ_COMMITTED: ReadCommittedClient,
+    MAV: MAVClient,
+    MASTER: MasterClient,
+    TWO_PHASE_LOCKING: TwoPhaseLockingClient,
+    QUORUM: QuorumClient,
+}
+
+
+def build_client(spec: str, node, recorder: Optional[object] = None,
+                 value_bytes: int = DEFAULT_VALUE_BYTES,
+                 sticky: bool = True, **kwargs) -> ProtocolClient:
+    """Assemble the client for a protocol spec string.
+
+    HAT specs become a :class:`LayeredClient` carrying the base protocol's
+    core layers plus any cut-isolation and session layers the spec names
+    (all session layers of one client share one
+    :class:`~repro.hat.layers.SessionState`).  Coordinated baselines take no
+    layers — :func:`~repro.hat.protocols.parse_spec` rejects such specs —
+    and are constructed directly.
+    """
+    parsed = parse_spec(spec)
+    cls = BASE_CLIENT_CLASSES[parsed.base]
+    if parsed.base in NON_HAT_PROTOCOLS:
+        return cls(node, recorder=recorder, value_bytes=value_bytes, **kwargs)
+    layers: List[object] = [factory() for factory in cls.core_layer_factories]
+    if parsed.cut_isolation:
+        layers.append(CutIsolationLayer())
+    if parsed.session:
+        state = SessionState()
+        for token in parsed.session_layers:
+            layers.append(SESSION_LAYER_CLASSES[token](state))
+    return cls(node, layers=layers, protocol_name=parsed.name, sticky=sticky,
+               recorder=recorder, value_bytes=value_bytes, **kwargs)
+
 
 __all__ = [
     "ProtocolClient",
+    "LayeredClient",
     "EventualClient",
     "ReadCommittedClient",
     "MAVClient",
     "MasterClient",
     "TwoPhaseLockingClient",
     "QuorumClient",
+    "BASE_CLIENT_CLASSES",
+    "build_client",
 ]

@@ -1,7 +1,26 @@
-"""Shared machinery for protocol clients."""
+"""Shared machinery for protocol clients: the replica-access core.
+
+Two client shapes live here:
+
+* :class:`ProtocolClient` — timestamps, RPC helpers, and result assembly.
+  The non-HAT baselines (master, two-phase locking, quorum) subclass it
+  directly and implement :meth:`ProtocolClient._run` as a monolithic
+  generator.
+* :class:`LayeredClient` — the HAT replica-access core.  Its ``_run`` is a
+  generic driver that walks the transaction's operations against sticky
+  replicas and delegates every *guarantee* decision (write buffering, atomic
+  visibility metadata, cut-isolation caching, session floors and dependency
+  forwarding) to an ordered stack of :class:`~repro.hat.layers.GuaranteeLayer`
+  objects.  This is the paper's composability result made executable: Read
+  Committed is the core plus a write-buffering layer, MAV swaps in an
+  atomic-visibility layer, and the session guarantees stack on top of either
+  (Sections 4-5).  The :mod:`repro.hat.protocols` registry turns spec strings
+  like ``"mav+causal"`` into such stacks.
+"""
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.cluster.client import ClientNode
@@ -41,6 +60,9 @@ class ProtocolClient:
         self.value_bytes = value_bytes
         self.rpc_timeout_ms = rpc_timeout_ms
         self.session_id = node.client_id
+        self._home_servers = frozenset(
+            node.config.cluster(node.home_cluster).servers
+        )
 
     # -- public API ---------------------------------------------------------------
     def execute(self, transaction: Transaction) -> Process:
@@ -81,10 +103,24 @@ class ProtocolClient:
                        txn_id=txn_id, siblings=frozenset(siblings))
 
     def _rpc(self, dst: str, kind: str, payload: Dict[str, Any]):
-        """Issue one RPC; track whether it left the client's home region."""
+        """Issue one RPC without remote-hop accounting."""
         return self.node.rpc(dst, kind, payload, timeout_ms=self.rpc_timeout_ms)
 
-    def _pick_replica(self, key: str, result: TransactionResult) -> str:
+    def _issue(self, result: TransactionResult, dst: str, kind: str,
+               payload: Dict[str, Any]):
+        """Issue one RPC, counting a remote hop at the moment it is sent.
+
+        The remote-RPC diagnostic counts round trips that actually left the
+        client's home cluster, so the counter is bumped here — where the RPC
+        is issued — rather than when a fallback replica is merely *selected*
+        (a selection whose RPC may never happen, e.g. because an earlier
+        parallel write times out first).
+        """
+        if dst not in self._home_servers:
+            result.remote_rpcs += 1
+        return self._rpc(dst, kind, payload)
+
+    def _pick_replica(self, key: str) -> str:
         """The replica a HAT client contacts for ``key``.
 
         Preference order: the sticky (home-cluster) replica, then any replica
@@ -100,7 +136,6 @@ class ProtocolClient:
         reachable = self.node.reachable_replicas(key)
         if not reachable:
             raise UnavailableError(f"no reachable replica for key {key!r}")
-        result.remote_rpcs += 1
         return reachable[0]
 
     def _observe(self, result: TransactionResult, key: str, version: Version) -> Version:
@@ -126,3 +161,163 @@ class ProtocolClient:
     @staticmethod
     def _reads_of(result: TransactionResult) -> List[ReadObservation]:
         return result.reads
+
+
+@dataclass
+class ReadRequest:
+    """One replica read about to be issued; layers may rewrite it."""
+
+    kind: str
+    payload: Dict[str, Any]
+
+
+@dataclass
+class TxnContext:
+    """Per-transaction scratch state shared by the driver and its layers."""
+
+    transaction: Transaction
+    result: TransactionResult
+    timestamp: Timestamp
+    #: Operation list after the layers' ``plan`` rewrites.
+    plan: List[Operation] = field(default_factory=list)
+    #: key -> value buffered by a write-buffering layer until commit.
+    write_buffer: Dict[str, Any] = field(default_factory=dict)
+    #: MAV lower bounds: item -> minimum timestamp the next read must honour.
+    required: Dict[str, Timestamp] = field(default_factory=dict)
+    #: key -> replica that accepted the transaction's write for that key.
+    write_targets: Dict[str, str] = field(default_factory=dict)
+    #: key -> the version actually installed for that key (with metadata).
+    written_versions: Dict[str, Version] = field(default_factory=dict)
+    #: Cut-isolation bookkeeping: repeated reads/scans removed from the plan.
+    duplicate_reads: List[str] = field(default_factory=list)
+    duplicate_scans: List[str] = field(default_factory=list)
+
+
+class LayeredClient(ProtocolClient):
+    """The shared replica-access core: a driver plus a guarantee-layer stack.
+
+    With an empty stack this *is* the paper's ``eventual`` configuration:
+    every write applies immediately at a sticky replica, every read returns
+    the replica's latest version.  Layers hook the driver at fixed points —
+    ``plan`` (rewrite the operation list), ``begin`` (pre-transaction RPCs,
+    e.g. session dependency forwarding), ``buffer_write``/``serve_read``
+    (client-side buffering), ``before_read``/``after_read`` (request metadata
+    such as MAV lower bounds), ``read_floor`` (session lower bounds on
+    revealed versions), ``flush`` (the commit-time write batch), and
+    ``finalize`` (post-commit bookkeeping).
+    """
+
+    #: Default layer stack, instantiated per client (subclasses override).
+    core_layer_factories = ()
+    #: RPC verbs the core uses; an atomic-visibility layer swaps in ``mav.*``.
+    get_kind = "ru.get"
+    put_kind = "ru.put"
+
+    def __init__(self, node: ClientNode, layers: Optional[List[object]] = None,
+                 protocol_name: Optional[str] = None, sticky: bool = True,
+                 **kwargs):
+        super().__init__(node, **kwargs)
+        if protocol_name is not None:
+            self.protocol_name = protocol_name
+        #: Sticky clients repair stale reads from the session cache; a
+        #: non-sticky client records the violation instead (Section 5.1.3).
+        self.sticky = sticky
+        if layers is None:
+            layers = [factory() for factory in self.core_layer_factories]
+        self.layers = list(layers)
+        #: Shared session state, set by the first session layer to attach.
+        self.session = None
+        #: The (single) layer that buffers writes until commit, if any.
+        self._write_layer = None
+        for layer in self.layers:
+            layer.attach(self)
+
+    # -- diagnostics -------------------------------------------------------------
+    def violations(self) -> int:
+        """Stale reads that were *not* repaired (non-sticky clients)."""
+        if self.session is None:
+            return 0
+        return self.session.stale_reads - self.session.cache_hits
+
+    # -- the driver ---------------------------------------------------------------
+    def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
+        ctx = TxnContext(transaction=transaction, result=result,
+                         timestamp=self.node.next_timestamp())
+        result.timestamp = ctx.timestamp
+        plan = list(transaction.operations)
+        for layer in self.layers:
+            plan = layer.plan(plan, ctx)
+        ctx.plan = plan
+        for layer in self.layers:
+            yield from layer.begin(ctx)
+        for op in plan:
+            if op.is_write:
+                if self._write_layer is not None:
+                    self._write_layer.buffer_write(ctx, op)
+                else:
+                    yield from self._direct_write(ctx, op)
+            elif op.is_read:
+                yield from self._layered_read(ctx, op)
+            else:
+                yield from self._scan_home_cluster(op, result)
+        if self._write_layer is not None:
+            yield from self._write_layer.flush(ctx)
+        for layer in self.layers:
+            layer.finalize(ctx)
+
+    def _direct_write(self, ctx: TxnContext, op: Operation) -> Generator:
+        """Apply one write immediately at a sticky replica (Read Uncommitted)."""
+        replica = self._pick_replica(op.key)
+        version = self._make_version(op.key, op.value, ctx.timestamp,
+                                     ctx.transaction.txn_id)
+        yield self._issue(ctx.result, replica, self.put_kind, {
+            "version": version,
+            "size_bytes": self.value_bytes,
+        })
+        ctx.write_targets[op.key] = replica
+        ctx.written_versions[op.key] = version
+
+    def _layered_read(self, ctx: TxnContext, op: Operation) -> Generator:
+        for layer in self.layers:
+            version = layer.serve_read(ctx, op)
+            if version is not None:
+                self._observe(ctx.result, op.key, version)
+                return
+        request = ReadRequest(kind=self.get_kind, payload={"key": op.key})
+        for layer in self.layers:
+            layer.before_read(ctx, op, request)
+        replica = self._pick_replica(op.key)
+        reply = yield self._issue(ctx.result, replica, request.kind, request.payload)
+        replica_version = reply["version"]
+        version = self._apply_read_floors(ctx, replica_version)
+        for layer in self.layers:
+            layer.after_read(ctx, op, version, replica, replica_version)
+        self._observe(ctx.result, op.key, version)
+
+    def _apply_read_floors(self, ctx: TxnContext, version: Version) -> Version:
+        """Enforce the layers' lower bounds on revealed versions.
+
+        A session layer may know a floor — something this session has already
+        read (monotonic reads) or written (read-your-writes).  When the
+        contacted replica returns something older, a sticky client serves the
+        cached floor instead (the paper's client-side caching construction);
+        a non-sticky client records the violation and returns the stale
+        version, which is exactly the Section 5.1.3 impossibility argument.
+        """
+        floor: Optional[Version] = None
+        for layer in self.layers:
+            candidate = layer.read_floor(version.key)
+            if candidate is not None and (
+                floor is None or candidate.timestamp > floor.timestamp
+            ):
+                floor = candidate
+        if floor is None or version.timestamp >= floor.timestamp:
+            return version
+        state = self.session
+        if state is not None:
+            state.stale_reads += 1
+        if not self.sticky:
+            return version
+        if state is not None:
+            state.cache_hits += 1
+        return floor

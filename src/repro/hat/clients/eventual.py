@@ -5,37 +5,20 @@ each stamped with the transaction's unique timestamp; replicas converge via
 anti-entropy.  Reads return the replica's latest version.  This is the
 paper's baseline HAT configuration (Section 6.3) and provides Read
 Uncommitted isolation plus convergence (Section 5.1.1, 5.1.4).
+
+In the layered architecture this is simply the replica-access core with an
+*empty* guarantee stack — every other HAT protocol is this client plus
+layers.
 """
 
 from __future__ import annotations
 
-from typing import Generator
-
-from repro.hat.clients.base import ProtocolClient
+from repro.hat.clients.base import LayeredClient
 from repro.hat.protocols import EVENTUAL
-from repro.hat.transaction import Transaction, TransactionResult
 
 
-class EventualClient(ProtocolClient):
+class EventualClient(LayeredClient):
     """Read Uncommitted / eventually consistent client."""
 
     protocol_name = EVENTUAL
-
-    def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
-        timestamp = self.node.next_timestamp()
-        result.timestamp = timestamp
-        for op in transaction.operations:
-            if op.is_write:
-                replica = self._pick_replica(op.key, result)
-                version = self._make_version(op.key, op.value, timestamp,
-                                             transaction.txn_id)
-                yield self._rpc(replica, "ru.put", {
-                    "version": version,
-                    "size_bytes": self.value_bytes,
-                })
-            elif op.is_read:
-                replica = self._pick_replica(op.key, result)
-                reply = yield self._rpc(replica, "ru.get", {"key": op.key})
-                self._observe(result, op.key, reply["version"])
-            else:  # scan
-                yield from self._scan_home_cluster(op, result)
+    core_layer_factories = ()

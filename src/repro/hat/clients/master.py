@@ -36,12 +36,13 @@ class MasterClient(ProtocolClient):
                 raise UnavailableError("the master configuration does not "
                                        "support predicate reads in this prototype")
             master = self.node.master_replica(op.key)
-            if master not in home_servers:
-                result.remote_rpcs += 1
             if not self.node.network.partitions.connected(self.node.name, master):
                 raise UnavailableError(
                     f"master {master!r} for key {op.key!r} is unreachable"
                 )
+            # Count the wide-area hop only once the RPC is actually issued.
+            if master not in home_servers:
+                result.remote_rpcs += 1
             try:
                 if op.is_write:
                     version = self._make_version(op.key, op.value, timestamp,

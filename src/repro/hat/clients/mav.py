@@ -1,6 +1,6 @@
 """Monotonic Atomic View client (Appendix B, client side).
 
-The client keeps a write buffer and a ``required`` map — "effectively a
+The algorithm keeps a write buffer and a ``required`` map — "effectively a
 vector clock whose entries are data items" — for the duration of each
 transaction.  Reads attach the current lower bound for the item; the returned
 write's timestamp and sibling list raise the lower bounds for the other items
@@ -8,65 +8,21 @@ written by the same transaction, so that once any effect of a transaction is
 observed, all of its effects are observed (the MAV guarantee).  At commit,
 every buffered write is sent to a replica with the full sibling list and the
 transaction's single timestamp.
+
+All of that lives in :class:`~repro.hat.layers.AtomicVisibilityLayer` (which
+extends the Read Committed buffering layer, mirroring the RC -> MAV edge of
+Figure 2); this client is the replica-access core plus that layer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator
-
-from repro.hat.clients.base import ProtocolClient
+from repro.hat.clients.base import LayeredClient
+from repro.hat.layers import AtomicVisibilityLayer
 from repro.hat.protocols import MAV
-from repro.hat.transaction import Transaction, TransactionResult
-from repro.sim.process import all_of
-from repro.storage.records import Timestamp
 
 
-class MAVClient(ProtocolClient):
+class MAVClient(LayeredClient):
     """Client side of the efficient MAV algorithm."""
 
     protocol_name = MAV
-
-    def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
-        timestamp = self.node.next_timestamp()
-        result.timestamp = timestamp
-        write_buffer: Dict[str, object] = {}
-        required: Dict[str, Timestamp] = {}
-
-        for op in transaction.operations:
-            if op.is_write:
-                write_buffer[op.key] = op.value
-            elif op.is_read:
-                if op.key in write_buffer:
-                    # Per-transaction read-your-writes from the write buffer.
-                    version = self._make_version(op.key, write_buffer[op.key],
-                                                 timestamp, transaction.txn_id)
-                    self._observe(result, op.key, version)
-                    continue
-                replica = self._pick_replica(op.key, result)
-                reply = yield self._rpc(replica, "mav.get", {
-                    "key": op.key,
-                    "required": required.get(op.key),
-                })
-                version = reply["version"]
-                self._observe(result, op.key, version)
-                # Raise the lower bound for every sibling of the observed
-                # write: future reads must see this transaction's effects.
-                for sibling in version.siblings:
-                    current = required.get(sibling)
-                    if current is None or version.timestamp > current:
-                        required[sibling] = version.timestamp
-            else:
-                yield from self._scan_home_cluster(op, result)
-
-        futures = []
-        siblings = frozenset(write_buffer)
-        for key, value in write_buffer.items():
-            replica = self._pick_replica(key, result)
-            version = self._make_version(key, value, timestamp, transaction.txn_id,
-                                         siblings=siblings)
-            futures.append(self._rpc(replica, "mav.put", {
-                "version": version,
-                "size_bytes": self.value_bytes + version.metadata_bytes,
-            }))
-        if futures:
-            yield all_of(self.node.env, futures)
+    core_layer_factories = (AtomicVisibilityLayer,)

@@ -5,54 +5,20 @@ transactions will never read each others' dirty data.  As a simple solution,
 clients can buffer their writes until they commit." (Section 5.1.1).  The
 server-side handlers are identical to the eventual configuration — the paper
 calls RC "essentially eventual with buffering" — so the only difference is
-*when* writes leave the client.
+*when* writes leave the client, which is exactly what
+:class:`~repro.hat.layers.WriteBufferingLayer` encapsulates: this client is
+the replica-access core plus that one layer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator
-
-from repro.hat.clients.base import ProtocolClient
+from repro.hat.clients.base import LayeredClient
+from repro.hat.layers import WriteBufferingLayer
 from repro.hat.protocols import READ_COMMITTED
-from repro.hat.transaction import Transaction, TransactionResult
-from repro.sim.process import all_of
 
 
-class ReadCommittedClient(ProtocolClient):
+class ReadCommittedClient(LayeredClient):
     """Read Committed client with client-side write buffering."""
 
     protocol_name = READ_COMMITTED
-
-    def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
-        timestamp = self.node.next_timestamp()
-        result.timestamp = timestamp
-        write_buffer: Dict[str, object] = {}
-
-        for op in transaction.operations:
-            if op.is_write:
-                write_buffer[op.key] = op.value
-            elif op.is_read:
-                if op.key in write_buffer:
-                    # Read-your-own-buffered-write inside the transaction.
-                    version = self._make_version(op.key, write_buffer[op.key],
-                                                 timestamp, transaction.txn_id)
-                    self._observe(result, op.key, version)
-                    continue
-                replica = self._pick_replica(op.key, result)
-                reply = yield self._rpc(replica, "ru.get", {"key": op.key})
-                self._observe(result, op.key, reply["version"])
-            else:
-                yield from self._scan_home_cluster(op, result)
-
-        # Commit: flush the buffered writes, all carrying the transaction's
-        # single timestamp, in parallel to each key's replica.
-        futures = []
-        for key, value in write_buffer.items():
-            replica = self._pick_replica(key, result)
-            version = self._make_version(key, value, timestamp, transaction.txn_id)
-            futures.append(self._rpc(replica, "ru.put", {
-                "version": version,
-                "size_bytes": self.value_bytes,
-            }))
-        if futures:
-            yield all_of(self.node.env, futures)
+    core_layer_factories = (WriteBufferingLayer,)

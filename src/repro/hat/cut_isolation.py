@@ -6,25 +6,23 @@ values that they read for each item never changes unless they overwrite it
 themselves...  Predicate Cut Isolation is also achievable in HAT systems via
 similar caching middleware."
 
-The :class:`CutIsolationClient` wraps any base client and rewrites the
-transaction so that repeated reads of the same item (or repeated evaluations
-of the same named predicate) are answered from a per-transaction cache rather
-than re-contacting a replica — which both guarantees the cut and saves RPCs.
+The canonical implementation is :class:`~repro.hat.layers.CutIsolationLayer`
+(registry token ``ci``), which hooks the layered client's plan/finalize
+points.  This module keeps the original wrapper interface:
+:class:`CutIsolationClient` wraps any base client and applies the same
+rewrite — repeated reads of an item (or repeated evaluations of a named
+predicate) are answered from a per-transaction cache rather than
+re-contacting a replica, which both guarantees the cut and saves RPCs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List
+from typing import Generator
 
 from repro.hat.clients.base import ProtocolClient
-from repro.hat.transaction import (
-    Operation,
-    ReadObservation,
-    Transaction,
-    TransactionResult,
-)
+from repro.hat.layers import replay_cut_duplicates, split_cut_plan
+from repro.hat.transaction import Transaction
 from repro.sim import Process
-from repro.storage.records import Version
 
 
 class CutIsolationClient:
@@ -47,55 +45,12 @@ class CutIsolationClient:
         return self.node.env.process(self._execute(transaction))
 
     def _execute(self, transaction: Transaction) -> Generator:
-        plan, duplicate_reads, duplicate_scans = self._split(transaction)
-        result = yield self.base.execute(plan)
-        if result.committed:
-            self._replay_duplicates(result, duplicate_reads, duplicate_scans)
-        return result
-
-    # -- planning --------------------------------------------------------------------
-    def _split(self, transaction: Transaction):
-        """Separate first reads (sent to the base client) from repeats."""
-        seen_keys: Dict[str, None] = {}
-        seen_predicates: Dict[str, None] = {}
-        operations: List[Operation] = []
-        duplicate_reads: List[str] = []
-        duplicate_scans: List[str] = []
-        written: Dict[str, None] = {}
-        for op in transaction.operations:
-            if op.is_read:
-                if op.key in seen_keys and op.key not in written:
-                    duplicate_reads.append(op.key)
-                    continue
-                seen_keys[op.key] = None
-                operations.append(op)
-            elif op.is_scan and self.predicate_cut:
-                name = op.predicate_name or "predicate"
-                if name in seen_predicates:
-                    duplicate_scans.append(name)
-                    continue
-                seen_predicates[name] = None
-                operations.append(op)
-            else:
-                if op.is_write:
-                    written[op.key] = None
-                operations.append(op)
+        operations, duplicate_reads, duplicate_scans = split_cut_plan(
+            transaction.operations, predicate_cut=self.predicate_cut
+        )
         plan = Transaction(operations=operations, txn_id=transaction.txn_id,
                            session_id=transaction.session_id)
-        return plan, duplicate_reads, duplicate_scans
-
-    # -- replay ------------------------------------------------------------------------
-    @staticmethod
-    def _replay_duplicates(result: TransactionResult,
-                           duplicate_reads: List[str],
-                           duplicate_scans: List[str]) -> None:
-        """Answer repeated reads from the cache of first observations."""
-        first_seen: Dict[str, Version] = {}
-        for observation in result.reads:
-            first_seen.setdefault(observation.key, observation.version)
-        for key in duplicate_reads:
-            if key in first_seen:
-                result.reads.append(ReadObservation(key=key, version=first_seen[key]))
-        for _name in duplicate_scans:
-            if result.scan_results:
-                result.scan_results.append(list(result.scan_results[0]))
+        result = yield self.base.execute(plan)
+        if result.committed:
+            replay_cut_duplicates(result, duplicate_reads, duplicate_scans)
+        return result

@@ -1,0 +1,492 @@
+"""Composable guarantee layers over the shared replica-access core.
+
+The paper's Sections 4-5 establish that HAT guarantees *compose*: write
+buffering gives Read Committed, per-transaction sibling metadata gives
+Monotonic Atomic View, client-side read caching gives Item/Predicate Cut
+Isolation, and the four session guarantees (monotonic reads, monotonic
+writes, writes-follow-reads, read-your-writes) stack on any of them — with
+read-your-writes, PRAM, and causal consistency additionally requiring sticky
+availability.  Each of those constructions is one :class:`GuaranteeLayer`
+here; :class:`~repro.hat.clients.base.LayeredClient` drives an ordered stack
+of them, and the :mod:`repro.hat.protocols` registry assembles stacks from
+spec strings such as ``"mav+causal"``.
+
+Layer hook points (all optional):
+
+``plan``
+    Rewrite the operation list before execution (cut isolation removes
+    repeated reads).
+``begin``
+    Simulation generator run before the first operation; the monotonic-writes
+    and writes-follow-reads layers forward the session's dependencies to the
+    replicas a failed-over transaction is about to write through, so
+    "happened-before" data is in place before the new writes land.
+``buffer_write`` / ``serve_read`` / ``flush``
+    Client-side write buffering (Section 5.1.1's Read Committed construction
+    and Appendix B's MAV commit protocol).
+``before_read`` / ``after_read``
+    Attach and harvest per-request metadata (the MAV ``required`` map).
+``read_floor``
+    A lower bound on the versions a read may reveal; the driver substitutes
+    the floor for stale replica answers on sticky clients.
+``finalize``
+    Post-commit bookkeeping (session memory, cut-isolation replay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.errors import UnavailableError
+from repro.hat.clients.base import LayeredClient, ReadRequest, TxnContext
+from repro.hat.transaction import Operation, ReadObservation, Transaction, TransactionResult
+from repro.sim.process import all_of
+from repro.storage.records import Timestamp, Version
+
+
+class GuaranteeLayer:
+    """Base class: every hook is a no-op so layers override only what they use."""
+
+    #: Registry token this layer implements (``"mr"``, ``"ryw"``, ...).
+    token: str = ""
+
+    def __init__(self) -> None:
+        self.client: Optional[LayeredClient] = None
+
+    def attach(self, client: LayeredClient) -> None:
+        self.client = client
+
+    # -- hook points --------------------------------------------------------------
+    def plan(self, operations: List[Operation], ctx: TxnContext) -> List[Operation]:
+        return operations
+
+    def begin(self, ctx: TxnContext) -> Generator:
+        return
+        yield  # pragma: no cover - makes ``begin`` a generator
+
+    def buffer_write(self, ctx: TxnContext, op: Operation) -> None:
+        raise NotImplementedError
+
+    def serve_read(self, ctx: TxnContext, op: Operation) -> Optional[Version]:
+        return None
+
+    def before_read(self, ctx: TxnContext, op: Operation, request: ReadRequest) -> None:
+        return None
+
+    def after_read(self, ctx: TxnContext, op: Operation, version: Version,
+                   replica: str, replica_version: Version) -> None:
+        """Post-read bookkeeping.
+
+        ``version`` is what the transaction observes (possibly repaired from
+        the session cache); ``replica_version`` is what the replica actually
+        returned — holder tracking must use the latter, because a repaired
+        read says nothing about what the stale replica stores.
+        """
+        return None
+
+    def read_floor(self, key: str) -> Optional[Version]:
+        return None
+
+    def flush(self, ctx: TxnContext) -> Generator:
+        return
+        yield  # pragma: no cover
+
+    def finalize(self, ctx: TxnContext) -> None:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Write buffering (Read Committed) and atomic visibility (MAV)
+# ---------------------------------------------------------------------------
+
+class WriteBufferingLayer(GuaranteeLayer):
+    """Read Committed: buffer writes client-side until commit.
+
+    "If each client never writes uncommitted data to shared copies of data,
+    then transactions will never read each others' dirty data.  As a simple
+    solution, clients can buffer their writes until they commit."
+    (Section 5.1.1.)  Reads of a key the transaction has written are served
+    from the buffer; at commit every buffered write is flushed in parallel,
+    all carrying the transaction's single timestamp.
+    """
+
+    token = "rc"
+
+    def attach(self, client: LayeredClient) -> None:
+        super().attach(client)
+        client._write_layer = self
+
+    def buffer_write(self, ctx: TxnContext, op: Operation) -> None:
+        ctx.write_buffer[op.key] = op.value
+
+    def serve_read(self, ctx: TxnContext, op: Operation) -> Optional[Version]:
+        if op.key not in ctx.write_buffer:
+            return None
+        return self.client._make_version(op.key, ctx.write_buffer[op.key],
+                                         ctx.timestamp, ctx.transaction.txn_id)
+
+    def flush(self, ctx: TxnContext) -> Generator:
+        client = self.client
+        futures = []
+        for key, value in ctx.write_buffer.items():
+            replica = client._pick_replica(key)
+            version = self._flush_version(ctx, key, value)
+            ctx.write_targets[key] = replica
+            ctx.written_versions[key] = version
+            futures.append(client._issue(ctx.result, replica, client.put_kind,
+                                         self._flush_payload(version)))
+        if futures:
+            yield all_of(client.node.env, futures)
+
+    def _flush_version(self, ctx: TxnContext, key: str, value: Any) -> Version:
+        return self.client._make_version(key, value, ctx.timestamp,
+                                         ctx.transaction.txn_id)
+
+    def _flush_payload(self, version: Version) -> Dict[str, Any]:
+        return {"version": version, "size_bytes": self.client.value_bytes}
+
+
+class AtomicVisibilityLayer(WriteBufferingLayer):
+    """Monotonic Atomic View: the client side of Appendix B's algorithm.
+
+    Extends write buffering (MAV is strictly stronger than RC in Figure 2)
+    with a ``required`` map — "effectively a vector clock whose entries are
+    data items".  Reads attach the current lower bound for the item; the
+    returned write's timestamp and sibling list raise the lower bounds for
+    the other items written by the same transaction, so that once any effect
+    of a transaction is observed, all of its effects are.  Commit sends every
+    buffered write with the full sibling list.
+    """
+
+    token = "mav"
+
+    def attach(self, client: LayeredClient) -> None:
+        super().attach(client)
+        client.get_kind = "mav.get"
+        client.put_kind = "mav.put"
+
+    def before_read(self, ctx: TxnContext, op: Operation, request: ReadRequest) -> None:
+        request.payload["required"] = ctx.required.get(op.key)
+
+    def after_read(self, ctx: TxnContext, op: Operation, version: Version,
+                   replica: str, replica_version: Version) -> None:
+        # Raise the lower bound for every sibling of the observed write:
+        # future reads must see this transaction's effects.
+        for sibling in version.siblings:
+            current = ctx.required.get(sibling)
+            if current is None or version.timestamp > current:
+                ctx.required[sibling] = version.timestamp
+
+    def _flush_version(self, ctx: TxnContext, key: str, value: Any) -> Version:
+        return self.client._make_version(key, value, ctx.timestamp,
+                                         ctx.transaction.txn_id,
+                                         siblings=frozenset(ctx.write_buffer))
+
+    def _flush_payload(self, version: Version) -> Dict[str, Any]:
+        return {"version": version,
+                "size_bytes": self.client.value_bytes + version.metadata_bytes}
+
+
+# ---------------------------------------------------------------------------
+# Item and Predicate Cut Isolation (Section 5.1.1)
+# ---------------------------------------------------------------------------
+
+def split_cut_plan(operations: List[Operation],
+                   predicate_cut: bool = True) -> Tuple[List[Operation], List[str], List[str]]:
+    """Separate first reads from repeats (the cut-isolation rewrite).
+
+    Returns ``(plan, duplicate_reads, duplicate_scans)``: the plan keeps the
+    first read of each item (and, with ``predicate_cut``, the first
+    evaluation of each named predicate); repeats are answered later from the
+    cache of first observations by :func:`replay_cut_duplicates`.
+    """
+    seen_keys: Dict[str, None] = {}
+    seen_predicates: Dict[str, None] = {}
+    plan: List[Operation] = []
+    duplicate_reads: List[str] = []
+    duplicate_scans: List[str] = []
+    written: Dict[str, None] = {}
+    for op in operations:
+        if op.is_read:
+            if op.key in seen_keys and op.key not in written:
+                duplicate_reads.append(op.key)
+                continue
+            seen_keys[op.key] = None
+            plan.append(op)
+        elif op.is_scan and predicate_cut:
+            name = op.predicate_name or "predicate"
+            if name in seen_predicates:
+                duplicate_scans.append(name)
+                continue
+            seen_predicates[name] = None
+            plan.append(op)
+        else:
+            if op.is_write:
+                written[op.key] = None
+            plan.append(op)
+    return plan, duplicate_reads, duplicate_scans
+
+
+def replay_cut_duplicates(result: TransactionResult,
+                          duplicate_reads: List[str],
+                          duplicate_scans: List[str]) -> None:
+    """Answer repeated reads from the cache of first observations."""
+    first_seen: Dict[str, Version] = {}
+    for observation in result.reads:
+        first_seen.setdefault(observation.key, observation.version)
+    for key in duplicate_reads:
+        if key in first_seen:
+            result.reads.append(ReadObservation(key=key, version=first_seen[key]))
+    for _name in duplicate_scans:
+        if result.scan_results:
+            result.scan_results.append(list(result.scan_results[0]))
+
+
+class CutIsolationLayer(GuaranteeLayer):
+    """Item and Predicate Cut Isolation via per-transaction read caching.
+
+    "It is possible to satisfy Item Cut Isolation with high availability by
+    having transactions store a copy of any read data at the client such that
+    the values that they read for each item never changes unless they
+    overwrite it themselves."  The layer rewrites the plan so repeats never
+    re-contact a replica — which both guarantees the cut and saves RPCs.
+    """
+
+    token = "ci"
+
+    def __init__(self, predicate_cut: bool = True) -> None:
+        super().__init__()
+        self.predicate_cut = predicate_cut
+
+    def plan(self, operations: List[Operation], ctx: TxnContext) -> List[Operation]:
+        plan, ctx.duplicate_reads, ctx.duplicate_scans = split_cut_plan(
+            operations, predicate_cut=self.predicate_cut
+        )
+        return plan
+
+    def finalize(self, ctx: TxnContext) -> None:
+        replay_cut_duplicates(ctx.result, ctx.duplicate_reads, ctx.duplicate_scans)
+
+
+# ---------------------------------------------------------------------------
+# Session guarantees (Section 5.1.3)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SessionState:
+    """Everything a session remembers across transactions.
+
+    Shared by all session layers of one client: the monotonic-reads and
+    read-your-writes layers consult the two version maps as read floors, the
+    monotonic-writes and writes-follow-reads layers forward them to replicas
+    a failed-over session writes through, and the holder map records which
+    replicas are already known to store a remembered version so steady-state
+    (sticky, unpartitioned) operation forwards nothing.
+    """
+
+    #: Highest version observed by a session read, per key (MR floor; the
+    #: versions writes-follow-reads must order before the session's writes).
+    last_seen: Dict[str, Version] = field(default_factory=dict)
+    #: Highest version this session has written per key (RYW floor; the
+    #: versions monotonic writes must order before the session's writes).
+    own_writes: Dict[str, Version] = field(default_factory=dict)
+    #: Highest timestamp observed anywhere in the session.
+    high_water: Optional[Timestamp] = None
+    #: Diagnostics: how often a read was served from the session cache.
+    cache_hits: int = 0
+    #: Diagnostics: reads that would have violated a guarantee had the cache
+    #: not been consulted (or that *did* violate it in non-sticky mode).
+    stale_reads: int = 0
+    #: key -> (timestamp, replicas known to hold that version or newer).
+    holders: Dict[str, Tuple[Timestamp, Set[str]]] = field(default_factory=dict)
+
+    # -- memory -------------------------------------------------------------------
+    def remember_read(self, key: str, version: Version) -> None:
+        current = self.last_seen.get(key)
+        if current is None or version.timestamp > current.timestamp:
+            self.last_seen[key] = version
+        self._raise_high_water(version.timestamp)
+
+    def remember_write(self, key: str, version: Version,
+                       update_last_seen: bool = False) -> None:
+        current = self.own_writes.get(key)
+        if current is None or version.timestamp > current.timestamp:
+            self.own_writes[key] = version
+        if update_last_seen:
+            seen = self.last_seen.get(key)
+            if seen is None or version.timestamp > seen.timestamp:
+                self.last_seen[key] = version
+        self._raise_high_water(version.timestamp)
+
+    def _raise_high_water(self, timestamp: Timestamp) -> None:
+        if self.high_water is None or timestamp > self.high_water:
+            self.high_water = timestamp
+
+    # -- holder tracking ---------------------------------------------------------
+    def note_holder(self, key: str, timestamp: Timestamp, replica: str) -> None:
+        current = self.holders.get(key)
+        if current is None or timestamp > current[0]:
+            self.holders[key] = (timestamp, {replica})
+        elif timestamp == current[0]:
+            current[1].add(replica)
+
+    def holders_of(self, key: str, timestamp: Timestamp) -> Set[str]:
+        current = self.holders.get(key)
+        if current is None or current[0] != timestamp:
+            return set()
+        return current[1]
+
+
+class SessionLayer(GuaranteeLayer):
+    """Base for the four session-guarantee layers: shared session memory."""
+
+    def __init__(self, state: Optional[SessionState] = None) -> None:
+        super().__init__()
+        self.state = state if state is not None else SessionState()
+
+    def attach(self, client: LayeredClient) -> None:
+        super().attach(client)
+        client.session = self.state
+
+    # -- shared bookkeeping -------------------------------------------------------
+    def _remember_reads(self, ctx: TxnContext) -> None:
+        for observation in ctx.result.reads:
+            self.state.remember_read(observation.key, observation.version)
+
+    def _remember_writes(self, ctx: TxnContext) -> None:
+        for key, version in ctx.written_versions.items():
+            self.state.remember_write(key, version)
+            target = ctx.write_targets.get(key)
+            if target is not None:
+                self.state.note_holder(key, version.timestamp, target)
+
+    def _forward(self, ctx: TxnContext, versions: Dict[str, Version]) -> Generator:
+        """Push remembered versions to the replicas this transaction can reach.
+
+        The constructive halves of monotonic writes and writes-follow-reads:
+        before a (possibly failed-over) transaction writes, the versions that
+        must become visible *first* are installed at whichever replica the
+        client would currently contact for them.  Replicas that already hold
+        a version are skipped, so a sticky session on a healthy network
+        forwards nothing.  Unreachable dependency replicas are skipped too —
+        transactional availability only requires replicas for the items the
+        transaction itself accesses (Section 4.2).
+        """
+        client = self.client
+        futures = []
+        delivered: List[Tuple[str, Timestamp, str]] = []
+        overwritten = {op.key for op in ctx.plan if op.is_write}
+        for key, version in versions.items():
+            if version.txn_id is None:
+                continue  # the initial (bottom) version needs no forwarding
+            if key in overwritten:
+                continue  # this transaction's own newer write supersedes it
+            try:
+                replica = client._pick_replica(key)
+            except UnavailableError:
+                continue
+            if replica in self.state.holders_of(key, version.timestamp):
+                continue
+            size = client.value_bytes + (version.metadata_bytes
+                                         if version.siblings else 0)
+            futures.append(client._issue(ctx.result, replica, client.put_kind, {
+                "version": version,
+                "size_bytes": size,
+            }))
+            delivered.append((key, version.timestamp, replica))
+        if futures:
+            yield all_of(client.node.env, futures)
+        for key, timestamp, replica in delivered:
+            self.state.note_holder(key, timestamp, replica)
+
+
+class MonotonicReadsLayer(SessionLayer):
+    """MR: within a session, reads of an item never go backwards.
+
+    Achievable with plain high availability by maintaining lower bounds on
+    the versions revealed to the session — here, a client-side cache of the
+    highest version each read has observed.
+    """
+
+    token = "mr"
+
+    def read_floor(self, key: str) -> Optional[Version]:
+        return self.state.last_seen.get(key)
+
+    def after_read(self, ctx: TxnContext, op: Operation, version: Version,
+                   replica: str, replica_version: Version) -> None:
+        self.state.note_holder(op.key, replica_version.timestamp, replica)
+
+    def finalize(self, ctx: TxnContext) -> None:
+        self._remember_reads(ctx)
+
+
+class ReadYourWritesLayer(SessionLayer):
+    """RYW: a session observes its own writes — sticky availability only.
+
+    The floor is the session's own write log; on a sticky client a stale
+    replica answer is repaired from it ("a client might cache its reads and
+    writes"), while a non-sticky client records the violation, matching the
+    impossibility argument of Section 5.1.3.
+    """
+
+    token = "ryw"
+    requires_sticky = True
+
+    def read_floor(self, key: str) -> Optional[Version]:
+        return self.state.own_writes.get(key)
+
+    def finalize(self, ctx: TxnContext) -> None:
+        self._remember_writes(ctx)
+
+
+class MonotonicWritesLayer(SessionLayer):
+    """MW: a session's writes become visible in submission order.
+
+    Constructively: before this transaction's writes land anywhere, the
+    session's earlier writes are forwarded to the replicas the transaction
+    currently routes to, so no replica can reveal a later session write
+    while missing an earlier one it serves.
+    """
+
+    token = "mw"
+
+    def begin(self, ctx: TxnContext) -> Generator:
+        if any(op.is_write for op in ctx.plan):
+            yield from self._forward(ctx, self.state.own_writes)
+
+    def finalize(self, ctx: TxnContext) -> None:
+        self._remember_writes(ctx)
+
+
+class WritesFollowReadsLayer(SessionLayer):
+    """WFR: writes are ordered after the writes the session has observed.
+
+    Constructively: the versions this session has read are forwarded to the
+    replicas the transaction currently routes to before its own writes land,
+    so any reader that observes the new writes can also observe their
+    happened-before predecessors.
+    """
+
+    token = "wfr"
+
+    def begin(self, ctx: TxnContext) -> Generator:
+        if any(op.is_write for op in ctx.plan):
+            yield from self._forward(ctx, self.state.last_seen)
+
+    def after_read(self, ctx: TxnContext, op: Operation, version: Version,
+                   replica: str, replica_version: Version) -> None:
+        self.state.note_holder(op.key, replica_version.timestamp, replica)
+
+    def finalize(self, ctx: TxnContext) -> None:
+        self._remember_reads(ctx)
+
+
+#: Registry token -> session layer class, in canonical stacking order.
+SESSION_LAYER_CLASSES = {
+    MonotonicReadsLayer.token: MonotonicReadsLayer,
+    MonotonicWritesLayer.token: MonotonicWritesLayer,
+    WritesFollowReadsLayer.token: WritesFollowReadsLayer,
+    ReadYourWritesLayer.token: ReadYourWritesLayer,
+}

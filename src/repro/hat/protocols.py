@@ -1,13 +1,41 @@
-"""Protocol names and their availability classification.
+"""The protocol registry: spec strings, guarantee stacks, and classification.
 
-The benchmark harness selects protocols by name; the taxonomy cross-checks
-that the HAT protocols really are the highly available ones.
+The paper's central result is that HAT guarantees *compose*: Read Committed,
+Monotonic Atomic View, cut isolation, and the four session guarantees can be
+stacked, and causal consistency (all four session guarantees) plus MAV is the
+strongest combination achievable with sticky availability (Sections 4-5,
+Figure 2).  This module makes that composition addressable by name.  A
+*protocol spec* is a ``+``-separated string:
+
+* at most one **base**: ``eventual`` (alias ``ru``), ``read-committed``
+  (alias ``rc``), ``mav``, or one of the coordinated baselines ``master``,
+  ``two-phase-locking`` (alias ``2pl``), ``quorum``.  Omitting the base
+  means ``eventual``.
+* any number of **layers**: the session guarantees ``mr``, ``mw``, ``wfr``,
+  ``ryw``; the bundles ``pram`` (= mr+mw+ryw), ``causal`` / ``session``
+  (= mr+mw+wfr+ryw); and ``ci`` (item + predicate cut isolation).
+
+``parse_spec`` normalises a spec into a :class:`ProtocolSpec`;
+:func:`protocol_info` derives the static :class:`Protocol` description,
+including the availability classification computed from the Table 3 model
+taxonomy ("the availability of a combination of models has the availability
+of the least available individual model").  Layers cannot stack on the
+coordinated baselines — they are not even sticky available, so a spec like
+``master+ryw`` is contradictory and rejected.
+
+``causal`` and ``mav+causal`` are registered as first-class protocols; the
+benchmark harness selects any spec by name, and
+:func:`cross_check_with_taxonomy` verifies every registered classification
+against :mod:`repro.taxonomy.classification` and the Figure 2 lattice.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.errors import ReproError
+from repro.taxonomy.models import AVAILABLE, MODELS, STICKY
 
 EVENTUAL = "eventual"
 READ_COMMITTED = "read-committed"
@@ -15,6 +43,161 @@ MAV = "mav"
 MASTER = "master"
 TWO_PHASE_LOCKING = "two-phase-locking"
 QUORUM = "quorum"
+
+#: Session-guarantee layer tokens, in canonical stacking/spelling order.
+SESSION_TOKENS: Tuple[str, ...] = ("mr", "mw", "wfr", "ryw")
+CUT_ISOLATION = "ci"
+
+#: Bundle tokens that expand to sets of session guarantees (Section 5.1.3:
+#: PRAM = MR + MW + RYW; causal consistency = PRAM + WFR).
+PRAM_SET: FrozenSet[str] = frozenset({"mr", "mw", "ryw"})
+CAUSAL_SET: FrozenSet[str] = frozenset({"mr", "mw", "wfr", "ryw"})
+BUNDLES: Dict[str, FrozenSet[str]] = {
+    "pram": PRAM_SET,
+    "causal": CAUSAL_SET,
+    "session": CAUSAL_SET,
+}
+
+_HAT_BASES: Tuple[str, ...] = (EVENTUAL, READ_COMMITTED, MAV)
+_COORDINATED_BASES: Tuple[str, ...] = (MASTER, TWO_PHASE_LOCKING, QUORUM)
+_BASES: Tuple[str, ...] = _HAT_BASES + _COORDINATED_BASES
+
+_ALIASES: Dict[str, str] = {
+    "ru": EVENTUAL,
+    "rc": READ_COMMITTED,
+    "2pl": TWO_PHASE_LOCKING,
+    "cut-isolation": CUT_ISOLATION,
+}
+
+#: Table 3 / Figure 2 model codes implemented by each base and layer token.
+_BASE_MODELS: Dict[str, Tuple[str, ...]] = {
+    EVENTUAL: ("RU",),
+    READ_COMMITTED: ("RC",),
+    MAV: ("RC", "MAV"),
+}
+_LAYER_MODELS: Dict[str, Tuple[str, ...]] = {
+    "mr": ("MR",),
+    "mw": ("MW",),
+    "wfr": ("WFR",),
+    "ryw": ("RYW",),
+    CUT_ISOLATION: ("I-CI", "P-CI"),
+}
+
+
+class ProtocolSpecError(ReproError, KeyError):
+    """An unknown or contradictory protocol spec.
+
+    Subclasses both :class:`~repro.errors.ReproError` (library convention)
+    and :class:`KeyError` (the registry's historical lookup error).
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return str(self.args[0]) if self.args else ""
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A parsed protocol spec: one base plus a set of guarantee layers."""
+
+    base: str
+    session: FrozenSet[str] = frozenset()
+    cut_isolation: bool = False
+
+    # -- derived ------------------------------------------------------------------
+    @property
+    def session_layers(self) -> Tuple[str, ...]:
+        """Session tokens in canonical stacking order."""
+        return tuple(t for t in SESSION_TOKENS if t in self.session)
+
+    @property
+    def layer_tokens(self) -> Tuple[str, ...]:
+        tokens: Tuple[str, ...] = ()
+        if self.cut_isolation:
+            tokens += (CUT_ISOLATION,)
+        return tokens + self.session_layers
+
+    @property
+    def name(self) -> str:
+        """Canonical spec string; bundles compress (``mr+mw+wfr+ryw`` -> ``causal``)."""
+        parts: List[str] = []
+        if self.session == CAUSAL_SET:
+            session_parts = ["causal"]
+        elif self.session == PRAM_SET:
+            session_parts = ["pram"]
+        else:
+            session_parts = list(self.session_layers)
+        if self.cut_isolation:
+            session_parts = [CUT_ISOLATION] + session_parts
+        if self.base != EVENTUAL or not session_parts:
+            parts.append(self.base)
+        parts.extend(session_parts)
+        return "+".join(parts)
+
+    def model_codes(self) -> Tuple[str, ...]:
+        """Table 3 model codes this spec claims to implement."""
+        codes = list(_BASE_MODELS.get(self.base, ()))
+        if self.cut_isolation:
+            codes.extend(_LAYER_MODELS[CUT_ISOLATION])
+        for token in self.session_layers:
+            codes.extend(_LAYER_MODELS[token])
+        if self.session >= PRAM_SET:
+            codes.append("PRAM")
+        if self.session >= CAUSAL_SET:
+            codes.append("Causal")
+        return tuple(codes)
+
+    def availability(self) -> str:
+        """Worst availability class among the spec's models (Figure 2 caption)."""
+        ranking = {AVAILABLE: 0, STICKY: 1}
+        worst = AVAILABLE
+        for code in self.model_codes():
+            availability = MODELS[code].availability
+            if ranking.get(availability, 2) > ranking.get(worst, 2):
+                worst = availability
+        return worst
+
+
+def parse_spec(spec: str) -> ProtocolSpec:
+    """Parse a ``+``-separated protocol spec into a :class:`ProtocolSpec`."""
+    if not isinstance(spec, str) or not spec.strip():
+        raise ProtocolSpecError(f"empty protocol spec {spec!r}")
+    base = None
+    session = set()
+    cut_isolation = False
+    for raw in spec.split("+"):
+        token = _ALIASES.get(raw.strip().lower(), raw.strip().lower())
+        if not token:
+            raise ProtocolSpecError(f"empty token in protocol spec {spec!r}")
+        if token in _BASES:
+            if base is not None and base != token:
+                raise ProtocolSpecError(
+                    f"contradictory protocol spec {spec!r}: "
+                    f"both {base!r} and {token!r} name a base protocol"
+                )
+            base = token
+        elif token in BUNDLES:
+            session |= BUNDLES[token]
+        elif token in SESSION_TOKENS:
+            session.add(token)
+        elif token == CUT_ISOLATION:
+            cut_isolation = True
+        else:
+            raise ProtocolSpecError(
+                f"unknown protocol token {token!r} in spec {spec!r}; expected a "
+                f"base ({', '.join(_BASES)}), a session guarantee "
+                f"({', '.join(SESSION_TOKENS)}), a bundle "
+                f"({', '.join(sorted(BUNDLES))}), or {CUT_ISOLATION!r}"
+            )
+    if base is None:
+        base = EVENTUAL
+    if base in _COORDINATED_BASES and (session or cut_isolation):
+        raise ProtocolSpecError(
+            f"contradictory protocol spec {spec!r}: {base!r} is not even sticky "
+            "available, so guarantee layers cannot stack on it (Table 3 — the "
+            "availability of a combination is that of its least available member)"
+        )
+    return ProtocolSpec(base=base, session=frozenset(session),
+                        cut_isolation=cut_isolation)
 
 
 @dataclass(frozen=True)
@@ -26,32 +209,89 @@ class Protocol:
     highly_available: bool
     sticky_available: bool
     description: str
+    #: Base protocol of the guarantee stack (equals ``name`` for pure bases).
+    base: str = ""
+    #: Guarantee-layer tokens stacked on the base, in order.
+    layers: Tuple[str, ...] = ()
+    #: Table 3 model codes the configuration claims to implement.
+    models: Tuple[str, ...] = ()
+
+
+_LAYER_NAMES = {
+    "mr": "monotonic reads",
+    "mw": "monotonic writes",
+    "wfr": "writes follow reads",
+    "ryw": "read your writes",
+    CUT_ISOLATION: "item/predicate cut isolation",
+}
+
+_BASE_ISOLATION = {
+    EVENTUAL: "Read Uncommitted (last-writer-wins)",
+    READ_COMMITTED: "Read Committed",
+    MAV: "Monotonic Atomic View",
+}
+
+
+def _derive(spec: ProtocolSpec, description: str = "") -> Protocol:
+    """Build the static description of a (HAT-based) guarantee stack."""
+    availability = spec.availability()
+    isolation = _BASE_ISOLATION[spec.base]
+    if spec.session == CAUSAL_SET:
+        isolation += " + causal consistency"
+    elif spec.session >= PRAM_SET:
+        isolation += " + PRAM"
+    elif spec.session_layers:
+        isolation += " + " + ", ".join(_LAYER_NAMES[t] for t in spec.session_layers)
+    if spec.cut_isolation:
+        isolation += " + cut isolation"
+    if not description:
+        description = (
+            f"Guarantee stack over the {spec.base!r} core: "
+            + (", ".join(_LAYER_NAMES[t] for t in spec.layer_tokens) or "no layers")
+            + " (paper Sections 5.1.1-5.1.3)."
+        )
+    return Protocol(
+        name=spec.name,
+        isolation=isolation,
+        highly_available=availability == AVAILABLE,
+        sticky_available=availability in (AVAILABLE, STICKY),
+        description=description,
+        base=spec.base,
+        layers=spec.layer_tokens,
+        models=spec.model_codes(),
+    )
 
 
 _PROTOCOLS: Dict[str, Protocol] = {
     EVENTUAL: Protocol(
         name=EVENTUAL,
-        isolation="Read Uncommitted (last-writer-wins)",
+        isolation=_BASE_ISOLATION[EVENTUAL],
         highly_available=True,
         sticky_available=True,
         description="Writes apply immediately at any replica; anti-entropy "
                     "converges replicas (paper Section 5.1.1, 'eventual').",
+        base=EVENTUAL,
+        models=_BASE_MODELS[EVENTUAL],
     ),
     READ_COMMITTED: Protocol(
         name=READ_COMMITTED,
-        isolation="Read Committed",
+        isolation=_BASE_ISOLATION[READ_COMMITTED],
         highly_available=True,
         sticky_available=True,
         description="Clients buffer writes until commit so no reader observes "
                     "uncommitted data (paper Section 5.1.1, 'RC').",
+        base=READ_COMMITTED,
+        models=_BASE_MODELS[READ_COMMITTED],
     ),
     MAV: Protocol(
         name=MAV,
-        isolation="Monotonic Atomic View",
+        isolation=_BASE_ISOLATION[MAV],
         highly_available=True,
         sticky_available=True,
         description="Two-phase pending/good visibility with per-transaction "
                     "sibling metadata (paper Section 5.1.2 and Appendix B).",
+        base=MAV,
+        models=_BASE_MODELS[MAV],
     ),
     MASTER: Protocol(
         name=MASTER,
@@ -60,6 +300,7 @@ _PROTOCOLS: Dict[str, Protocol] = {
         sticky_available=False,
         description="All operations for a key route to its designated master "
                     "replica (paper Section 6.3, 'master').",
+        base=MASTER,
     ),
     TWO_PHASE_LOCKING: Protocol(
         name=TWO_PHASE_LOCKING,
@@ -68,6 +309,7 @@ _PROTOCOLS: Dict[str, Protocol] = {
         sticky_available=False,
         description="Distributed two-phase locking with two-phase commit "
                     "(paper Section 6.1/6.3 baseline).",
+        base=TWO_PHASE_LOCKING,
     ),
     QUORUM: Protocol(
         name=QUORUM,
@@ -76,19 +318,70 @@ _PROTOCOLS: Dict[str, Protocol] = {
         sticky_available=False,
         description="Read/write majority quorums as in Dynamo "
                     "(paper Section 6.3).",
+        base=QUORUM,
     ),
 }
 
+#: First-class composite protocols (the paper's strongest HAT combinations).
+_PROTOCOLS["causal"] = _derive(
+    parse_spec("causal"),
+    description="Causal consistency: all four session guarantees stacked on "
+                "the eventual core; sticky available only (Section 5.1.3).",
+)
+_PROTOCOLS["mav+causal"] = _derive(
+    parse_spec("mav+causal"),
+    description="Monotonic Atomic View plus causal consistency — the "
+                "strongest sticky-available combination of Section 5.3.",
+)
+
 HAT_PROTOCOLS: Tuple[str, ...] = (EVENTUAL, READ_COMMITTED, MAV)
+COMPOSITE_PROTOCOLS: Tuple[str, ...] = ("causal", "mav+causal")
 NON_HAT_PROTOCOLS: Tuple[str, ...] = (MASTER, TWO_PHASE_LOCKING, QUORUM)
-ALL_PROTOCOLS: Tuple[str, ...] = HAT_PROTOCOLS + NON_HAT_PROTOCOLS
+ALL_PROTOCOLS: Tuple[str, ...] = HAT_PROTOCOLS + COMPOSITE_PROTOCOLS + NON_HAT_PROTOCOLS
 
 
 def protocol_info(name: str) -> Protocol:
-    """Look up the static description of a protocol by name."""
-    try:
+    """The static description of a protocol spec (registered or derived)."""
+    if name in _PROTOCOLS:
         return _PROTOCOLS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown protocol {name!r}; expected one of {sorted(_PROTOCOLS)}"
-        ) from None
+    spec = parse_spec(name)  # raises ProtocolSpecError (a KeyError) if invalid
+    return _PROTOCOLS.get(spec.name) or _derive(spec)
+
+
+def cross_check_with_taxonomy() -> List[str]:
+    """Verify registered classifications against the taxonomy and lattice.
+
+    For every registered protocol that names Table 3 models, the availability
+    flags must match both :func:`repro.taxonomy.classification.classify` on
+    each individual model and the Figure 2 lattice's combination rule.
+    Returns a list of inconsistencies (empty when everything lines up).
+    """
+    from repro.taxonomy.classification import classify
+    from repro.taxonomy.lattice import build_lattice
+
+    lattice = build_lattice()
+    problems: List[str] = []
+    for name, protocol in _PROTOCOLS.items():
+        if not protocol.models:
+            continue
+        combined = lattice.combination_availability(protocol.models)
+        expected_ha = combined == AVAILABLE
+        expected_sticky = combined in (AVAILABLE, STICKY)
+        if protocol.highly_available != expected_ha:
+            problems.append(
+                f"{name}: highly_available={protocol.highly_available} but the "
+                f"lattice classifies its models {protocol.models} as {combined!r}"
+            )
+        if protocol.sticky_available != expected_sticky:
+            problems.append(
+                f"{name}: sticky_available={protocol.sticky_available} but the "
+                f"lattice classifies its models {protocol.models} as {combined!r}"
+            )
+        for code in protocol.models:
+            model = classify(code)
+            if not model.is_hat and protocol.sticky_available:
+                problems.append(
+                    f"{name}: claims model {code!r}, which Table 3 marks "
+                    "unavailable, yet is registered as (sticky) available"
+                )
+    return problems

@@ -8,27 +8,27 @@ in" and "log out".  The guarantees come in two groups:
 * achievable only with *sticky* availability: read-your-writes, and therefore
   PRAM and causal consistency.
 
-The paper's constructive argument for the HA group is client/replica-side
-buffering and lower bounds on revealed versions; for the sticky group it is
-client affinity plus (optionally) a client-side cache of the session's own
-reads and writes ("a client might cache its reads and writes").  This module
-implements the client-side variant: a :class:`SessionClient` wraps any HAT
-client, maintains the session's lower bounds, and serves from its cache when
-the contacted replica has not yet caught up.  When the wrapper is configured
-as *non-sticky* it deliberately does not repair stale reads, so tests can
-exhibit exactly the read-your-writes violation of Section 5.1.3's
-impossibility argument.
+The canonical implementation now lives in :mod:`repro.hat.layers` as four
+composable guarantee layers sharing a
+:class:`~repro.hat.layers.SessionState`; the protocol registry stacks them
+via specs such as ``"read-committed+ryw"`` or ``"causal"``.  This module
+keeps the original wrapper interface: :class:`SessionClient` wraps *any*
+client object after the fact and applies the monotonic-reads /
+read-your-writes cache repair as post-processing on each committed
+transaction.  When the wrapper is configured as *non-sticky* it deliberately
+does not repair stale reads, so tests can exhibit exactly the
+read-your-writes violation of Section 5.1.3's impossibility argument.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.hat.clients.base import ProtocolClient
+from repro.hat.layers import SessionState
 from repro.hat.transaction import Transaction, TransactionResult
 from repro.sim import Process
-from repro.storage.records import Timestamp, Version
+from repro.storage.records import Version
 
 #: Names of the session guarantees, as used by the taxonomy.
 MONOTONIC_READS = "monotonic reads"
@@ -38,27 +38,25 @@ READ_YOUR_WRITES = "read your writes"
 PRAM = "PRAM"
 CAUSAL = "causal"
 
-
-@dataclass
-class SessionState:
-    """Everything the session remembers across transactions."""
-
-    #: Highest version observed (read or written) per key.
-    last_seen: Dict[str, Version] = field(default_factory=dict)
-    #: Highest timestamp this session has written per key (read-your-writes).
-    own_writes: Dict[str, Version] = field(default_factory=dict)
-    #: Highest timestamp observed anywhere in the session (writes-follow-reads
-    #: dependency floor attached to subsequent writes).
-    high_water: Optional[Timestamp] = None
-    #: Diagnostics: how often a read was served from the session cache.
-    cache_hits: int = 0
-    #: Diagnostics: reads that would have violated a guarantee had the cache
-    #: not been consulted (or that *did* violate it in non-sticky mode).
-    stale_reads: int = 0
+__all__ = [
+    "MONOTONIC_READS",
+    "MONOTONIC_WRITES",
+    "WRITES_FOLLOW_READS",
+    "READ_YOUR_WRITES",
+    "PRAM",
+    "CAUSAL",
+    "SessionState",
+    "SessionClient",
+]
 
 
 class SessionClient:
-    """Adds session guarantees on top of a base protocol client."""
+    """Adds session guarantees on top of a base protocol client.
+
+    Prefer the registry specs (``testbed.make_client("read-committed+ryw")``)
+    for new code; this wrapper remains for clients the registry did not
+    build, and for the non-sticky demonstration mode.
+    """
 
     def __init__(self, base: ProtocolClient, sticky: bool = True,
                  guarantees: Optional[List[str]] = None):
@@ -130,12 +128,7 @@ class SessionClient:
 
     def _remember_reads(self, result: TransactionResult) -> None:
         for observation in result.reads:
-            version = observation.version
-            current = self.state.last_seen.get(observation.key)
-            if current is None or version.timestamp > current.timestamp:
-                self.state.last_seen[observation.key] = version
-            if self.state.high_water is None or version.timestamp > self.state.high_water:
-                self.state.high_water = version.timestamp
+            self.state.remember_read(observation.key, observation.version)
 
     def _remember_writes(self, transaction: Transaction,
                          result: TransactionResult) -> None:
@@ -144,12 +137,7 @@ class SessionClient:
         for key, value in result.writes.items():
             version = Version(key=key, value=value, timestamp=result.timestamp,
                               txn_id=transaction.txn_id)
-            self.state.own_writes[key] = version
-            self.state.last_seen[key] = version
-        if result.writes and (
-            self.state.high_water is None or result.timestamp > self.state.high_water
-        ):
-            self.state.high_water = result.timestamp
+            self.state.remember_write(key, version, update_last_seen=True)
 
     # -- reporting -----------------------------------------------------------------------
     def violations(self) -> int:

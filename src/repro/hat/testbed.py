@@ -17,25 +17,8 @@ from typing import Dict, List, Optional
 from repro.cluster.client import ClientNode
 from repro.cluster.config import ClusterConfig, build_cluster_config
 from repro.cluster.node import ServiceCostModel
-from repro.errors import ReproError
-from repro.hat.clients import (
-    EventualClient,
-    MAVClient,
-    MasterClient,
-    ProtocolClient,
-    QuorumClient,
-    ReadCommittedClient,
-    TwoPhaseLockingClient,
-)
+from repro.hat.clients import ProtocolClient, build_client
 from repro.hat.cut_isolation import CutIsolationClient
-from repro.hat.protocols import (
-    EVENTUAL,
-    MASTER,
-    MAV,
-    QUORUM,
-    READ_COMMITTED,
-    TWO_PHASE_LOCKING,
-)
 from repro.hat.server import HATServer
 from repro.hat.sessions import SessionClient
 from repro.net.latency import EC2LatencyModel, FixedLatencyModel, LatencyModel
@@ -50,15 +33,6 @@ from repro.storage.lsm import LSMCostModel
 FIVE_REGION_DEPLOYMENT = ["VA", "CA", "OR", "IR", "SI"]
 
 _CLIENT_COUNTER = itertools.count(1)
-
-_CLIENT_CLASSES = {
-    EVENTUAL: EventualClient,
-    READ_COMMITTED: ReadCommittedClient,
-    MAV: MAVClient,
-    MASTER: MasterClient,
-    TWO_PHASE_LOCKING: TwoPhaseLockingClient,
-    QUORUM: QuorumClient,
-}
 
 
 @dataclass
@@ -107,13 +81,17 @@ class Testbed:
                     session: bool = False, sticky: bool = True,
                     cut_isolation: bool = False,
                     **client_kwargs) -> ProtocolClient:
-        """Create a protocol client homed in ``home_cluster``.
+        """Create a client for a protocol spec, homed in ``home_cluster``.
 
-        ``session=True`` wraps the client with session guarantees and
-        ``cut_isolation=True`` adds per-transaction read caching.
+        ``protocol`` is any spec the registry accepts — a plain base such as
+        ``"mav"`` or a guarantee stack such as ``"causal"`` or
+        ``"mav+wfr+mr"`` (see :func:`repro.hat.protocols.parse_spec`).
+        ``sticky=False`` builds the stack in demonstration mode: session
+        layers record guarantee violations instead of repairing them.  The
+        legacy wrapper flags remain: ``session=True`` wraps the client with
+        the post-processing :class:`SessionClient` and ``cut_isolation=True``
+        with :class:`CutIsolationClient`.
         """
-        if protocol not in _CLIENT_CLASSES:
-            raise ReproError(f"unknown protocol {protocol!r}")
         if home_cluster is None:
             home_cluster = self.config.cluster_names[0]
         name = f"client-{len(self.clients)}-{home_cluster}"
@@ -121,8 +99,9 @@ class Testbed:
         zone = self.topology.site(self.config.cluster(home_cluster).servers[0]).zone
         self.topology.add_site(name, region=region, zone=zone)
         node = ClientNode(self.env, self.network, self.config, name, home_cluster)
-        client = _CLIENT_CLASSES[protocol](
-            node, recorder=recorder, value_bytes=self.scenario.value_bytes,
+        client = build_client(
+            protocol, node, recorder=recorder,
+            value_bytes=self.scenario.value_bytes, sticky=sticky,
             **client_kwargs,
         )
         wrapped: ProtocolClient = client
@@ -179,6 +158,19 @@ class Testbed:
 
     def total_server_count(self) -> int:
         return len(self.servers)
+
+    def max_rtt_ms(self) -> float:
+        """The worst mean round-trip time between any two servers.
+
+        Benchmark grace periods scale with this so that in-flight
+        transactions in high-latency geo deployments (Table 1c tops out at
+        362.8 ms Sao Paulo - Singapore) are not silently truncated.
+        """
+        servers = self.config.all_servers
+        worst = 0.0
+        for a, b in itertools.combinations(servers, 2):
+            worst = max(worst, self.network.latency.mean_rtt(a, b))
+        return worst
 
 
 def build_testbed(scenario: Scenario) -> Testbed:

@@ -3,6 +3,7 @@
 from repro.bench.ablations import (
     anti_entropy_visibility,
     coordinated_baselines,
+    session_layer_overhead,
     stickiness_ablation,
 )
 
@@ -25,6 +26,20 @@ class TestStickinessAblation:
         result = stickiness_ablation(sessions=3)
         assert result.sticky_violations == 0
         assert result.non_sticky_violations >= 1
+
+
+class TestSessionLayerOverhead:
+    def test_stacked_protocols_keep_local_latency(self):
+        """On a healthy network the session layers forward nothing, so the
+        causal stacks stay within HAT (local) latency like their bases."""
+        points = session_layer_overhead(duration_ms=300.0)
+        by_protocol = {p.protocol: p for p in points}
+        assert set(by_protocol) == {"read-committed", "read-committed+causal",
+                                    "mav", "mav+causal"}
+        for point in points:
+            assert point.throughput_txn_s > 0
+            assert point.mean_latency_ms < 20.0
+            assert point.remote_rpc_fraction == 0.0
 
 
 class TestCoordinatedBaselines:

@@ -4,8 +4,14 @@ import pytest
 
 from repro.bench.experiments import figure4_transaction_length, figure5_write_proportion
 from repro.bench.report import format_latency_and_throughput, format_series
-from repro.bench.runner import RunConfig, run_workload
-from repro.hat.testbed import Scenario
+from repro.bench.runner import (
+    GRACE_RTT_MULTIPLE,
+    MIN_GRACE_PERIOD_MS,
+    RunConfig,
+    default_grace_period_ms,
+    run_workload,
+)
+from repro.hat.testbed import FIVE_REGION_DEPLOYMENT, Scenario, build_testbed
 from repro.workloads.ycsb import YCSBConfig
 
 
@@ -44,6 +50,35 @@ class TestRunWorkload:
         b = run_workload(quick_config("eventual", seed=7))
         assert a.committed == b.committed
         assert a.latency.mean == pytest.approx(b.latency.mean)
+
+
+class TestGracePeriod:
+    def test_default_keeps_historical_floor_for_small_deployments(self):
+        testbed = build_testbed(Scenario(regions=["VA", "OR"], servers_per_cluster=1))
+        assert default_grace_period_ms(testbed) == MIN_GRACE_PERIOD_MS
+
+    def test_default_scales_with_worst_rtt_in_geo_deployments(self):
+        """A fixed 2 s grace period silently truncates in-flight transactions
+        when the deployment includes Table 1c's slowest links."""
+        testbed = build_testbed(Scenario(regions=list(FIVE_REGION_DEPLOYMENT),
+                                         servers_per_cluster=1))
+        grace = default_grace_period_ms(testbed)
+        assert grace == pytest.approx(GRACE_RTT_MULTIPLE * testbed.max_rtt_ms())
+        assert grace > MIN_GRACE_PERIOD_MS
+        # VA <-> Singapore is the worst pair of this deployment (253.5 ms).
+        assert testbed.max_rtt_ms() == pytest.approx(253.5)
+
+    def test_explicit_grace_period_is_honoured(self):
+        config = quick_config("eventual", grace_period_ms=700.0)
+        scenario_testbed = build_testbed(config.scenario)
+        run_workload(config, testbed=scenario_testbed)
+        assert scenario_testbed.env.now == pytest.approx(
+            config.duration_ms + 700.0
+        )
+
+    def test_composite_spec_through_runner(self):
+        stats = run_workload(quick_config("causal"))
+        assert stats.committed > 10
 
 
 class TestExperimentHelpers:

@@ -1,0 +1,153 @@
+"""Tests for the protocol registry: spec parsing, stacking, classification."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.hat.layers import SessionLayer
+from repro.hat.protocols import (
+    ALL_PROTOCOLS,
+    CAUSAL_SET,
+    COMPOSITE_PROTOCOLS,
+    EVENTUAL,
+    MAV,
+    PRAM_SET,
+    READ_COMMITTED,
+    TWO_PHASE_LOCKING,
+    ProtocolSpecError,
+    cross_check_with_taxonomy,
+    parse_spec,
+    protocol_info,
+)
+from repro.hat.testbed import Scenario, build_testbed
+from repro.hat.transaction import Operation, Transaction
+
+
+class TestSpecParsing:
+    @pytest.mark.parametrize("spec", [
+        "eventual", "read-committed", "mav", "causal", "mav+causal",
+        "mav+wfr", "mav+mr+wfr", "read-committed+ryw", "read-committed+ci+pram",
+        "mr+wfr", "ci",
+    ])
+    def test_canonical_names_round_trip(self, spec):
+        parsed = parse_spec(spec)
+        assert parse_spec(parsed.name) == parsed
+        # Canonicalising is idempotent.
+        assert parse_spec(parsed.name).name == parsed.name
+
+    def test_aliases_normalise(self):
+        assert parse_spec("rc").base == READ_COMMITTED
+        assert parse_spec("ru").base == EVENTUAL
+        assert parse_spec("2pl").base == TWO_PHASE_LOCKING
+        assert parse_spec("mav+cut-isolation").cut_isolation
+
+    def test_layer_order_is_canonical(self):
+        assert parse_spec("mav+wfr+mr").name == "mav+mr+wfr"
+        assert parse_spec("wfr+mav+mr").name == "mav+mr+wfr"
+
+    def test_causal_expands_to_all_four_session_guarantees(self):
+        spec = parse_spec("causal")
+        assert spec.base == EVENTUAL
+        assert spec.session == CAUSAL_SET == frozenset({"mr", "mw", "wfr", "ryw"})
+        assert spec.session_layers == ("mr", "mw", "wfr", "ryw")
+
+    def test_pram_bundle(self):
+        spec = parse_spec("mav+pram")
+        assert spec.base == MAV
+        assert spec.session == PRAM_SET == frozenset({"mr", "mw", "ryw"})
+
+    def test_bundles_compress_in_canonical_names(self):
+        assert parse_spec("mr+mw+wfr+ryw").name == "causal"
+        assert parse_spec("mav+mr+mw+wfr+ryw").name == "mav+causal"
+        assert parse_spec("mav+pram+wfr").name == "mav+causal"
+        assert parse_spec("eventual+mr+mw+ryw").name == "pram"
+
+    def test_base_defaults_to_eventual(self):
+        assert parse_spec("mr+wfr").base == EVENTUAL
+
+
+class TestSpecRejection:
+    def test_unknown_token(self):
+        with pytest.raises(ProtocolSpecError):
+            parse_spec("read-committed+hope")
+
+    def test_spec_error_is_both_repro_and_key_error(self):
+        with pytest.raises(ReproError):
+            parse_spec("bogus")
+        with pytest.raises(KeyError):
+            parse_spec("bogus")
+
+    @pytest.mark.parametrize("spec", [
+        "master+ryw", "quorum+mr", "two-phase-locking+causal", "master+ci",
+    ])
+    def test_layers_rejected_on_coordinated_bases(self, spec):
+        """Session layers cannot stack on bases that are not sticky available."""
+        with pytest.raises(ProtocolSpecError):
+            parse_spec(spec)
+
+    def test_two_bases_rejected(self):
+        with pytest.raises(ProtocolSpecError):
+            parse_spec("mav+read-committed")
+
+    def test_empty_specs_rejected(self):
+        for spec in ("", "  ", "mav++mr"):
+            with pytest.raises(ProtocolSpecError):
+                parse_spec(spec)
+
+    def test_testbed_rejects_invalid_specs_as_repro_error(self):
+        testbed = build_testbed(Scenario(regions=["VA"], servers_per_cluster=1))
+        with pytest.raises(ReproError):
+            testbed.make_client("master+ryw")
+
+
+class TestClassification:
+    def test_causal_is_sticky_available_only(self):
+        info = protocol_info("causal")
+        assert info.sticky_available and not info.highly_available
+        assert "Causal" in info.models and "RYW" in info.models
+
+    def test_mav_causal_is_sticky_available_only(self):
+        info = protocol_info("mav+causal")
+        assert info.sticky_available and not info.highly_available
+        assert "MAV" in info.models and "Causal" in info.models
+
+    def test_ha_session_guarantees_stay_highly_available(self):
+        """MR, MW, and WFR stack without giving up full high availability."""
+        info = protocol_info("mav+mr+wfr")
+        assert info.highly_available and info.sticky_available
+
+    def test_ryw_makes_any_stack_sticky(self):
+        info = protocol_info("read-committed+ryw")
+        assert info.sticky_available and not info.highly_available
+
+    def test_composites_are_first_class(self):
+        for name in COMPOSITE_PROTOCOLS:
+            assert name in ALL_PROTOCOLS
+            assert protocol_info(name).name == name
+
+    def test_cross_check_against_taxonomy_and_lattice(self):
+        assert cross_check_with_taxonomy() == []
+
+    def test_derived_specs_are_classified_on_the_fly(self):
+        info = protocol_info("mav+wfr+mr")
+        assert info.base == MAV
+        assert info.layers == ("mr", "wfr")
+
+
+class TestStackedClients:
+    def test_composite_client_executes_transactions(self):
+        testbed = build_testbed(Scenario(regions=["VA", "OR"], servers_per_cluster=2))
+        client = testbed.make_client("mav+wfr+mr")
+        assert client.protocol_name == "mav+mr+wfr"
+        result = testbed.env.run_until_complete(client.execute(
+            Transaction([Operation.write("x", 1), Operation.read("x")])
+        ))
+        assert result.committed and result.value_read("x") == 1
+        assert result.protocol == "mav+mr+wfr"
+
+    def test_session_layers_share_one_state(self):
+        testbed = build_testbed(Scenario(regions=["VA"], servers_per_cluster=1))
+        client = testbed.make_client("causal")
+        session_layers = [layer for layer in client.layers
+                          if isinstance(layer, SessionLayer)]
+        assert len(session_layers) == 4
+        assert all(layer.state is client.session for layer in session_layers)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Availability over time: a HAT stack versus master under a partition.
+
+The paper's Table 3 argues that causal HAT stacks stay (sticky) available
+under network partitions while master-based configurations do not.  This
+example measures that claim as a *timeline*: a nemesis partitions Virginia
+from Oregon mid-run, and per-window telemetry scores each 500 ms window of
+each region's clients against an SLO.  The causal stack keeps serving
+through the partition; master goes dark for clients partitioned away from
+their key masters, then recovers after the heal.
+
+Run with::
+
+    python examples/availability_under_partitions.py
+
+Writes ``availability.json`` (the same artifact
+``python -m repro.bench availability --json DIR`` produces) next to the
+terminal rendering.
+"""
+
+import json
+
+from repro.bench.experiments import availability_experiment
+from repro.bench.report import availability_report_json, format_availability
+
+
+def main():
+    results = availability_experiment(
+        protocols=("causal", "master"),
+        baseline_ms=1_500.0,
+        partition_ms=3_000.0,
+        recovery_ms=1_500.0,
+    )
+    print(format_availability(results))
+    print()
+
+    with open("availability.json", "w") as handle:
+        json.dump(availability_report_json(results), handle, indent=2,
+                  allow_nan=False)
+    print("(wrote availability.json)")
+
+    causal, master = results
+    for group in sorted(causal.groups):
+        through = causal.phase_availability(group)["partition"]
+        dark = master.phase_availability(group)["partition"]
+        print(f"{group}: causal served {through:.0%} of partition windows; "
+              f"master served {dark:.0%}")
+    print("\nThat is the paper's claim in one artifact: the strongest "
+          "sticky-available stack keeps serving through the partition, "
+          "while the coordinated baseline cannot.")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,17 +13,26 @@ command prints the same report the benchmark suite produces.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional
 
 from repro.bench.experiments import (
+    AVAILABILITY_PROTOCOLS,
+    availability_experiment,
     composite_guarantee_sweep,
     figure3_geo_replication,
     figure4_transaction_length,
     figure5_write_proportion,
     figure6_scale_out,
 )
-from repro.bench.report import format_latency_and_throughput, format_series
+from repro.bench.report import (
+    availability_report_json,
+    format_availability,
+    format_latency_and_throughput,
+    format_series,
+)
 from repro.net.measurement import (
     cross_region_mean_table,
     format_table_1c,
@@ -105,7 +114,18 @@ def _tpcc(quick: bool) -> str:
     return "Section 6.2: TPC-C HAT compliance\n" + hat_compliance_table()
 
 
-ARTIFACTS: Dict[str, Callable[[bool], str]] = {
+def _availability(quick: bool):
+    """Timeline artifact: HAT stacks serving through a region partition."""
+    results = availability_experiment(
+        protocols=("causal", "master") if quick else AVAILABILITY_PROTOCOLS,
+        baseline_ms=1_500.0 if quick else 3_000.0,
+        partition_ms=3_000.0 if quick else 6_000.0,
+        recovery_ms=1_500.0 if quick else 3_000.0,
+    )
+    return format_availability(results), availability_report_json(results)
+
+
+ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "table1": _table1,
     "table2": _table2,
     "table3": _table3,
@@ -116,6 +136,7 @@ ARTIFACTS: Dict[str, Callable[[bool], str]] = {
     "fig6": _fig6,
     "composite": _composite,
     "tpcc": _tpcc,
+    "availability": _availability,
 }
 
 
@@ -131,6 +152,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the small/fast parameterisation (default)")
     parser.add_argument("--full", dest="quick", action="store_false",
                         help="use the longer, higher-fidelity sweeps")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write <DIR>/<artifact>.json for artifacts "
+                             "with a JSON form (currently: availability)")
     return parser
 
 
@@ -145,7 +169,17 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
         print(f"\n===== {name} =====")
-        print(ARTIFACTS[name](args.quick))
+        rendered = ARTIFACTS[name](args.quick)
+        payload: Optional[dict] = None
+        if isinstance(rendered, tuple):
+            rendered, payload = rendered
+        print(rendered)
+        if args.json and payload is not None:
+            os.makedirs(args.json, exist_ok=True)
+            path = os.path.join(args.json, f"{name}.json")
+            with open(path, "w") as handle:
+                json.dump(payload, handle, indent=2, allow_nan=False)
+            print(f"(wrote {path})")
     return 0
 
 

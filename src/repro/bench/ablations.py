@@ -33,7 +33,8 @@ class VisibilityPoint:
     """Result of one anti-entropy interval setting."""
 
     interval_ms: float
-    mean_visibility_ms: float
+    #: None when no write became visible during the observation window.
+    mean_visibility_ms: Optional[float]
     anti_entropy_messages: int
     versions_pushed: int
 
@@ -79,7 +80,7 @@ def anti_entropy_visibility(
         messages = sum(s.anti_entropy.stats.messages for s in testbed.server_list())
         points.append(VisibilityPoint(
             interval_ms=interval,
-            mean_visibility_ms=sum(lags) / len(lags) if lags else float("nan"),
+            mean_visibility_ms=sum(lags) / len(lags) if lags else None,
             anti_entropy_messages=messages,
             versions_pushed=pushed,
         ))
@@ -146,7 +147,8 @@ class LayerOverheadPoint:
 
     protocol: str
     throughput_txn_s: float
-    mean_latency_ms: float
+    #: None when the run committed nothing (no latency samples).
+    mean_latency_ms: Optional[float]
     remote_rpc_fraction: float
 
 
@@ -193,8 +195,9 @@ class BaselinePoint:
     """Latency/throughput of one coordinated (non-HAT) configuration."""
 
     protocol: str
-    mean_latency_ms: float
-    p95_latency_ms: float
+    #: None when the run committed nothing (no latency samples).
+    mean_latency_ms: Optional[float]
+    p95_latency_ms: Optional[float]
     throughput_txn_s: float
     abort_rate: float
 

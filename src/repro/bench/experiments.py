@@ -15,8 +15,16 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.bench.metrics import RunStats
 from repro.bench.runner import RunConfig, run_workload
-from repro.hat.protocols import EVENTUAL, MASTER, MAV, READ_COMMITTED
-from repro.hat.testbed import FIVE_REGION_DEPLOYMENT, Scenario
+from repro.chaos.campaign import Campaign, canonical_partition_campaign
+from repro.chaos.nemesis import NarrationEntry, Nemesis
+from repro.chaos.telemetry import (
+    AvailabilitySLO,
+    GroupTimeline,
+    TimelineTelemetry,
+)
+from repro.errors import ReproError
+from repro.hat.protocols import EVENTUAL, MASTER, MAV, QUORUM, READ_COMMITTED
+from repro.hat.testbed import FIVE_REGION_DEPLOYMENT, Scenario, build_testbed
 from repro.workloads.ycsb import YCSBConfig
 
 #: The four configurations plotted in Figures 3-6.
@@ -25,6 +33,11 @@ FIGURE_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, MASTER)
 #: Guarantee stacks for the composite sweep: each single-guarantee HAT base
 #: next to the paper's strongest sticky-available combinations (Section 5.3).
 COMPOSITE_SWEEP_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal", "mav+causal")
+
+#: Protocols swept by the availability experiment: every HAT class of
+#: Table 3 against the unavailable baselines it argues against.
+AVAILABILITY_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal",
+                          "mav+causal", MASTER, QUORUM)
 
 
 @dataclass
@@ -37,8 +50,9 @@ class ExperimentPoint:
     x_value: float
     throughput_txn_s: float
     throughput_ops_s: float
-    mean_latency_ms: float
-    p95_latency_ms: float
+    #: None when the run committed nothing (no latency samples).
+    mean_latency_ms: Optional[float]
+    p95_latency_ms: Optional[float]
     committed: int
     aborted: int
     extras: Dict[str, float] = field(default_factory=dict)
@@ -247,3 +261,97 @@ def figure6_scale_out(
             stats = run_workload(config)
             points.append(_point("fig6", "total servers", servers * 2, stats))
     return points
+
+
+# ---------------------------------------------------------------------------
+# Availability under a partition campaign (the Table 3 claim, measured)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class AvailabilityTimeline:
+    """One protocol's per-window availability record under a campaign."""
+
+    protocol: str
+    campaign: Campaign
+    window_ms: float
+    slo: AvailabilitySLO
+    #: Home region -> per-window timeline for the clients homed there.
+    groups: Dict[str, GroupTimeline]
+    #: Aggregate stats of the same run (for cross-checking totals).
+    stats: RunStats
+    #: What the nemesis actually did, stamped with simulated fire times.
+    narration: List[NarrationEntry] = field(default_factory=list)
+
+    def phase_availability(self, group: str) -> Dict[str, Optional[float]]:
+        """SLO-window availability per campaign phase for one client group."""
+        return self.groups[group].phase_availability(self.campaign.phases,
+                                                     self.slo)
+
+    def min_phase_availability(self, phase: str) -> Optional[float]:
+        """The worst group's availability during ``phase`` (None if unscored)."""
+        scores = [self.phase_availability(group).get(phase)
+                  for group in self.groups]
+        scores = [s for s in scores if s is not None]
+        return min(scores) if scores else None
+
+
+def availability_experiment(
+    protocols: Sequence[str] = AVAILABILITY_PROTOCOLS,
+    regions: Sequence[str] = ("VA", "OR"),
+    servers_per_cluster: int = 2,
+    clients_per_cluster: int = 2,
+    baseline_ms: float = 3_000.0,
+    partition_ms: float = 6_000.0,
+    recovery_ms: float = 3_000.0,
+    window_ms: float = 500.0,
+    slo: Optional[AvailabilitySLO] = None,
+    workload: Optional[YCSBConfig] = None,
+    seed: int = 0,
+    recorder: Optional[object] = None,
+) -> List[AvailabilityTimeline]:
+    """Sweep protocol specs across the canonical region-partition campaign.
+
+    Every protocol runs the same closed-loop YCSB workload while the nemesis
+    executes a three-phase campaign — baseline, a partition isolating the
+    first region from the rest, recovery — and the telemetry layer scores
+    each SLO window per client region.  The artifact shows sticky-available
+    stacks serving through the partition while the unavailable baselines
+    stall: the availability column of Table 3, finally measured end-to-end
+    rather than argued from the impossibility proofs.
+    """
+    if recorder is not None and len(list(protocols)) > 1:
+        # Runs restart session ids from zero, so one recorder would merge
+        # independent histories into colliding Adya sessions.
+        raise ReproError("pass a recorder only when sweeping a single protocol")
+    results: List[AvailabilityTimeline] = []
+    for protocol in protocols:
+        scenario = Scenario(regions=list(regions),
+                            servers_per_cluster=servers_per_cluster, seed=seed)
+        testbed = build_testbed(scenario)
+        campaign = canonical_partition_campaign(
+            list(regions), baseline_ms=baseline_ms,
+            partition_ms=partition_ms, recovery_ms=recovery_ms)
+        nemesis = Nemesis(testbed, campaign)
+        nemesis.install()
+        telemetry = TimelineTelemetry(window_ms=window_ms, slo=slo)
+        config = RunConfig(
+            protocol=protocol,
+            scenario=scenario,
+            workload=workload or YCSBConfig(key_count=10_000),
+            clients_per_cluster=clients_per_cluster,
+            duration_ms=campaign.duration_ms,
+            warmup_ms=0.0,
+            seed=seed,
+        )
+        stats = run_workload(config, testbed=testbed, recorder=recorder,
+                             telemetry=telemetry)
+        results.append(AvailabilityTimeline(
+            protocol=protocol,
+            campaign=campaign,
+            window_ms=window_ms,
+            slo=telemetry.slo,
+            groups=telemetry.build(),
+            stats=stats,
+            narration=list(nemesis.log),
+        ))
+    return results

@@ -10,20 +10,25 @@ import numpy as np
 
 @dataclass
 class LatencySummary:
-    """Summary statistics over a set of latency samples (milliseconds)."""
+    """Summary statistics over a set of latency samples (milliseconds).
+
+    An empty sample set yields ``None`` statistics rather than ``NaN``:
+    ``NaN`` is not valid JSON, so a single empty window used to corrupt
+    every serialized benchmark report that contained one.
+    """
 
     count: int
-    mean: float
-    p50: float
-    p95: float
-    p99: float
-    maximum: float
+    mean: Optional[float]
+    p50: Optional[float]
+    p95: Optional[float]
+    p99: Optional[float]
+    maximum: Optional[float]
 
     @classmethod
     def from_samples(cls, samples: List[float]) -> "LatencySummary":
         if not samples:
-            return cls(count=0, mean=float("nan"), p50=float("nan"),
-                       p95=float("nan"), p99=float("nan"), maximum=float("nan"))
+            return cls(count=0, mean=None, p50=None,
+                       p95=None, p99=None, maximum=None)
         data = np.asarray(samples, dtype=float)
         return cls(
             count=int(data.size),
@@ -33,6 +38,11 @@ class LatencySummary:
             p99=float(np.percentile(data, 99)),
             maximum=float(data.max()),
         )
+
+    def as_dict(self) -> Dict[str, Optional[float]]:
+        """A JSON-safe plain dict (``None`` marks absent statistics)."""
+        return {"count": self.count, "mean": self.mean, "p50": self.p50,
+                "p95": self.p95, "p99": self.p99, "maximum": self.maximum}
 
 
 @dataclass

@@ -1,10 +1,10 @@
-"""Text rendering of experiment series (the benches print these)."""
+"""Text and JSON rendering of experiment series (the benches print these)."""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
-from repro.bench.experiments import ExperimentPoint
+from repro.bench.experiments import AvailabilityTimeline, ExperimentPoint
 
 
 def format_series(points: Sequence[ExperimentPoint],
@@ -36,10 +36,12 @@ def format_series(points: Sequence[ExperimentPoint],
         cells = []
         for protocol in protocols:
             point = lookup.get((protocol, x))
-            if point is None:
+            cell = None if point is None else getattr(point, value)
+            if cell is None:
+                # Missing point, or a latency statistic with no samples.
                 cells.append(f"{'-':>16}")
             else:
-                cells.append(f"{getattr(point, value):>16.1f}")
+                cells.append(f"{cell:>16.1f}")
         lines.append(f"{x:>20.2f} " + "".join(cells))
     return "\n".join(lines)
 
@@ -50,3 +52,88 @@ def format_latency_and_throughput(points: Sequence[ExperimentPoint]) -> str:
         format_series(points, value="mean_latency_ms"),
         format_series(points, value="throughput_txn_s"),
     ])
+
+
+# ---------------------------------------------------------------------------
+# Availability timelines
+# ---------------------------------------------------------------------------
+
+def _score_cell(score: Optional[float]) -> str:
+    return f"{score:>10.2f}" if score is not None else f"{'-':>10}"
+
+
+def format_availability(results: Sequence[AvailabilityTimeline]) -> str:
+    """Render availability timelines: one strip per (protocol, client region).
+
+    Each character is one SLO window: ``#`` served (window met the SLO),
+    ``.`` did not.  The per-phase columns give the fraction of that phase's
+    windows meeting the SLO — the availability score.
+    """
+    if not results:
+        return "(no data)"
+    campaign = results[0].campaign
+    slo = results[0].slo
+    lines = [
+        "Availability under a region partition campaign "
+        f"(window = {results[0].window_ms:g} ms)",
+        f"SLO per window: >= {slo.min_committed} commit(s), "
+        f">= {slo.min_success_fraction:.0%} success"
+        + (f", p95 <= {slo.max_p95_latency_ms:g} ms"
+           if slo.max_p95_latency_ms is not None else ""),
+        "phases: " + "  ".join(
+            f"{p.name} [{p.start_ms:g}, {p.end_ms:g})" for p in campaign.phases),
+        "",
+    ]
+    phase_names = [phase.name for phase in campaign.phases]
+    strip_width = max((len(t.windows) for r in results
+                       for t in r.groups.values()), default=0)
+    header = (f"{'protocol':<16} {'region':<8} {'timeline':<{strip_width}} "
+              + "".join(f"{name:>10}" for name in phase_names))
+    lines += [header, "-" * len(header)]
+    for result in results:
+        for group in sorted(result.groups):
+            timeline = result.groups[group]
+            strip = "".join("#" if w.meets(result.slo) else "."
+                            for w in timeline.windows)
+            scores = result.phase_availability(group)
+            lines.append(
+                f"{result.protocol:<16} {group:<8} {strip:<{strip_width}} "
+                + "".join(_score_cell(scores.get(name)) for name in phase_names)
+            )
+    narration = [entry for result in results[:1] for entry in result.narration]
+    if narration:
+        lines += ["", "nemesis narration (identical for every protocol):"]
+        lines += [f"  {entry}" for entry in narration]
+    return "\n".join(lines)
+
+
+def availability_report_json(results: Sequence[AvailabilityTimeline]) -> Dict:
+    """A JSON-safe artifact of the availability experiment (no NaN anywhere)."""
+    payload: Dict = {"figure": "availability", "protocols": []}
+    if results:
+        campaign = results[0].campaign
+        payload["window_ms"] = results[0].window_ms
+        payload["slo"] = results[0].slo.as_dict()
+        payload["campaign"] = {
+            "duration_ms": campaign.duration_ms,
+            "phases": [{"name": p.name, "start_ms": p.start_ms,
+                        "end_ms": p.end_ms} for p in campaign.phases],
+            "actions": [{"at_ms": a.at_ms, "kind": a.kind, "note": a.note}
+                        for a in campaign.timeline()],
+        }
+    for result in results:
+        entry = {
+            "protocol": result.protocol,
+            "committed_total": result.stats.committed,
+            "aborted_total": result.stats.aborted,
+            "groups": {},
+        }
+        for group in sorted(result.groups):
+            timeline = result.groups[group]
+            entry["groups"][group] = {
+                "availability": timeline.availability(result.slo),
+                "phase_availability": result.phase_availability(group),
+                "windows": [w.as_dict() for w in timeline.windows],
+            }
+        payload["protocols"].append(entry)
+    return payload

@@ -24,6 +24,12 @@ GRACE_RTT_MULTIPLE = 10.0
 #: Floor on the default grace period (the historical fixed value), so small
 #: deployments keep their previous timing.
 MIN_GRACE_PERIOD_MS = 2_000.0
+#: Back-off before retrying after an abort that consumed no simulated time.
+#: Under a partition the unavailable protocols fail fast (the master check is
+#: a local routing-table lookup), and a zero-delay retry loop would freeze
+#: the simulated clock; any abort that *did* take time already paid its
+#: pacing (lock timeouts, RPC deadlines) and retries immediately as before.
+ZERO_TIME_ABORT_BACKOFF_MS = 25.0
 
 
 @dataclass
@@ -43,6 +49,9 @@ class RunConfig:
     #: ``MIN_GRACE_PERIOD_MS``), because a fixed grace period silently
     #: truncates transactions in high-latency geo deployments.
     grace_period_ms: Optional[float] = None
+    #: Retry back-off after an abort that consumed no simulated time (see
+    #: ``ZERO_TIME_ABORT_BACKOFF_MS``); only chaos runs ever hit it.
+    abort_backoff_ms: float = ZERO_TIME_ABORT_BACKOFF_MS
 
     @property
     def total_clients(self) -> int:
@@ -56,22 +65,43 @@ def default_grace_period_ms(testbed: Testbed) -> float:
 
 def run_workload(config: RunConfig,
                  testbed: Optional[Testbed] = None,
-                 recorder: Optional[object] = None) -> RunStats:
-    """Execute one closed-loop run and aggregate its results."""
+                 recorder: Optional[object] = None,
+                 telemetry: Optional[object] = None) -> RunStats:
+    """Execute one closed-loop run and aggregate its results.
+
+    ``telemetry`` (a :class:`~repro.chaos.telemetry.TimelineTelemetry`)
+    receives a ``begin``/``complete`` pair per transaction, keyed by the
+    issuing client's home region, so chaos experiments can build per-window
+    availability timelines out of the same closed-loop run.
+    """
     testbed = testbed or build_testbed(config.scenario)
     env = testbed.env
     start_ms = env.now
     end_ms = start_ms + config.duration_ms
     results: List[TransactionResult] = []
+    if telemetry is not None:
+        # Windows tile the measured interval only, so windowed totals agree
+        # with the warmup-excluding aggregate stats.
+        telemetry.start_run(start_ms + config.warmup_ms, end_ms)
 
-    def client_loop(client, workload: YCSBWorkload):
+    def client_loop(client, workload: YCSBWorkload, group: str):
         while env.now < end_ms:
             transaction = workload.next_transaction()
+            attempt = None
+            if telemetry is not None:
+                attempt = telemetry.begin(group, env.now)
             result = yield client.execute(transaction)
             results.append(result)
+            if attempt is not None:
+                telemetry.complete(attempt, result)
+            if not result.committed and result.latency_ms <= 0.0:
+                # Fail-fast abort (e.g. the master's local reachability
+                # check): back off so the simulated clock always advances.
+                yield env.timeout(config.abort_backoff_ms)
 
     client_index = 0
     for cluster_name in testbed.config.cluster_names:
+        group = testbed.config.cluster(cluster_name).region
         for _ in range(config.clients_per_cluster):
             client = testbed.make_client(config.protocol,
                                          home_cluster=cluster_name,
@@ -79,7 +109,7 @@ def run_workload(config: RunConfig,
             workload = YCSBWorkload(config.workload,
                                     seed=config.seed * 10_000 + client_index,
                                     session_id=client_index)
-            env.process(client_loop(client, workload))
+            env.process(client_loop(client, workload, group))
             client_index += 1
 
     # Let every in-flight transaction finish: run a grace period past the end.

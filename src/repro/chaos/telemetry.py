@@ -1,0 +1,243 @@
+"""Timeline telemetry: per-window time-series and SLO availability scores.
+
+Aggregate throughput hides exactly what the paper's Table 3 is about: a
+protocol that stalls for the whole partition and then catches up can post
+the same aggregate numbers as one that served throughout.  This module
+slices a run into fixed windows and scores each window against a simple
+SLO, so "availability" becomes *the fraction of windows in which the
+protocol actually served* — per client group, per campaign phase.
+
+The bench runner drives it: :meth:`TimelineTelemetry.begin` when a client
+starts a transaction, :meth:`TimelineTelemetry.complete` when it finishes,
+:meth:`TimelineTelemetry.build` after the run.  A transaction that spans a
+whole window without ever committing — a client wedged behind an RPC into a
+partition, whether it later aborts on timeout or never finishes at all —
+counts as a *stall* in every window it fully covers; a slow transaction
+that eventually commits is latency, not a stall.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.chaos.campaign import CampaignPhase
+from repro.errors import ReproError
+
+
+def _latency_summary(samples):
+    # Imported lazily: repro.bench's package __init__ pulls in the experiment
+    # module, which itself imports this telemetry layer.
+    from repro.bench.metrics import LatencySummary
+
+    return LatencySummary.from_samples(samples)
+
+
+@dataclass(frozen=True)
+class AvailabilitySLO:
+    """What a window must deliver to count as available."""
+
+    #: Minimum fraction of finished transactions that committed.
+    min_success_fraction: float = 0.9
+    #: Minimum number of commits (a silent window is not an available one).
+    min_committed: int = 1
+    #: Optional latency bound on the window's committed p95.
+    max_p95_latency_ms: Optional[float] = None
+    #: Whether a window may contain a fully stalled client and still pass.
+    allow_stalls: bool = True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "min_success_fraction": self.min_success_fraction,
+            "min_committed": self.min_committed,
+            "max_p95_latency_ms": self.max_p95_latency_ms,
+            "allow_stalls": self.allow_stalls,
+        }
+
+
+@dataclass
+class WindowStats:
+    """Counters for one time window of one client group."""
+
+    index: int
+    start_ms: float
+    end_ms: float
+    committed: int = 0
+    #: Transactions the system aborted (timeouts, unreachable replicas).
+    external_aborts: int = 0
+    #: Transactions that aborted by their own choice (not an SLO failure).
+    internal_aborts: int = 0
+    #: Clients that made no progress for the entire window.
+    stalled: int = 0
+    #: :class:`~repro.bench.metrics.LatencySummary` of committed latencies.
+    latency: object = field(default_factory=lambda: _latency_summary([]))
+
+    @property
+    def attempts(self) -> int:
+        return self.committed + self.external_aborts + self.internal_aborts
+
+    @property
+    def success_fraction(self) -> float:
+        """Committed fraction of finished transactions (0 when silent)."""
+        finished = self.committed + self.external_aborts
+        return self.committed / finished if finished else 0.0
+
+    @property
+    def throughput_txn_s(self) -> float:
+        span_ms = max(self.end_ms - self.start_ms, 1e-9)
+        return 1000.0 * self.committed / span_ms
+
+    def meets(self, slo: AvailabilitySLO) -> bool:
+        if self.committed < slo.min_committed:
+            return False
+        if self.success_fraction < slo.min_success_fraction:
+            return False
+        if not slo.allow_stalls and self.stalled:
+            return False
+        if (slo.max_p95_latency_ms is not None
+                and self.latency.p95 is not None
+                and self.latency.p95 > slo.max_p95_latency_ms):
+            return False
+        return True
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "committed": self.committed,
+            "external_aborts": self.external_aborts,
+            "internal_aborts": self.internal_aborts,
+            "stalled": self.stalled,
+            "throughput_txn_s": self.throughput_txn_s,
+            "latency": self.latency.as_dict(),
+        }
+
+
+def availability_score(windows: Sequence[WindowStats],
+                       slo: AvailabilitySLO) -> Optional[float]:
+    """Fraction of ``windows`` meeting the SLO (None for an empty slice)."""
+    if not windows:
+        return None
+    return sum(1 for w in windows if w.meets(slo)) / len(windows)
+
+
+@dataclass
+class GroupTimeline:
+    """The full per-window series for one client group (home region)."""
+
+    group: str
+    windows: List[WindowStats]
+
+    def availability(self, slo: AvailabilitySLO) -> Optional[float]:
+        return availability_score(self.windows, slo)
+
+    def phase_windows(self, phase: CampaignPhase) -> List[WindowStats]:
+        """Windows whose midpoint falls inside ``phase``."""
+        return [w for w in self.windows
+                if phase.contains((w.start_ms + w.end_ms) / 2.0)]
+
+    def phase_availability(self, phases: Sequence[CampaignPhase],
+                           slo: AvailabilitySLO) -> Dict[str, Optional[float]]:
+        return {phase.name: availability_score(self.phase_windows(phase), slo)
+                for phase in phases}
+
+
+class _Attempt:
+    """One in-flight transaction tracked from begin to completion."""
+
+    __slots__ = ("group", "start_ms", "end_ms", "committed", "internal")
+
+    def __init__(self, group: str, start_ms: float):
+        self.group = group
+        self.start_ms = start_ms
+        self.end_ms: Optional[float] = None
+        self.committed = False
+        self.internal = False
+
+
+class TimelineTelemetry:
+    """Collects per-transaction begin/complete events and builds timelines."""
+
+    def __init__(self, window_ms: float = 500.0,
+                 slo: Optional[AvailabilitySLO] = None):
+        if window_ms <= 0:
+            raise ReproError("telemetry window must be positive")
+        self.window_ms = float(window_ms)
+        self.slo = slo or AvailabilitySLO()
+        self._attempts: List[_Attempt] = []
+        self._bounds: Optional[tuple] = None
+
+    # -- recording (driven by the bench runner's client loop) -----------------
+    def start_run(self, start_ms: float, end_ms: float) -> None:
+        """Fix the measured interval; windows tile [start_ms, end_ms)."""
+        if end_ms <= start_ms:
+            raise ReproError("telemetry run interval must be non-empty")
+        self._bounds = (float(start_ms), float(end_ms))
+
+    def begin(self, group: str, now_ms: float) -> _Attempt:
+        attempt = _Attempt(group, now_ms)
+        self._attempts.append(attempt)
+        return attempt
+
+    def complete(self, attempt: _Attempt, result) -> None:
+        attempt.end_ms = result.end_ms
+        attempt.committed = bool(result.committed)
+        attempt.internal = bool(result.internal_abort)
+
+    # -- aggregation ------------------------------------------------------------
+    def groups(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for attempt in self._attempts:
+            seen.setdefault(attempt.group, None)
+        return list(seen)
+
+    def build(self) -> Dict[str, GroupTimeline]:
+        """Aggregate everything recorded so far into per-group timelines."""
+        if self._bounds is None:
+            raise ReproError("call start_run() before build()")
+        start, end = self._bounds
+        count = max(1, math.ceil((end - start) / self.window_ms))
+        timelines: Dict[str, GroupTimeline] = {}
+        samples: Dict[tuple, List[float]] = {}
+        for group in self.groups():
+            timelines[group] = GroupTimeline(group=group, windows=[
+                WindowStats(index=i, start_ms=start + i * self.window_ms,
+                            end_ms=min(start + (i + 1) * self.window_ms, end))
+                for i in range(count)
+            ])
+        for attempt in self._attempts:
+            windows = timelines[attempt.group].windows
+            self._bucket(attempt, windows, samples, start, end)
+        for (group, index), latencies in samples.items():
+            window = timelines[group].windows[index]
+            window.latency = _latency_summary(latencies)
+        return timelines
+
+    def _bucket(self, attempt: _Attempt, windows: List[WindowStats],
+                samples: Dict[tuple, List[float]],
+                start: float, end: float) -> None:
+        # Outcome counters land in the window where the transaction finished.
+        if attempt.end_ms is not None and start <= attempt.end_ms < end:
+            index = min(int((attempt.end_ms - start) / self.window_ms),
+                        len(windows) - 1)
+            window = windows[index]
+            if attempt.committed:
+                window.committed += 1
+                samples.setdefault((attempt.group, index), []).append(
+                    attempt.end_ms - attempt.start_ms)
+            elif attempt.internal:
+                window.internal_aborts += 1
+            else:
+                window.external_aborts += 1
+        # Stalls: windows the attempt spans end-to-end without ever reaching
+        # a commit.  A slow transaction that eventually commits is latency,
+        # not a stall; a client wedged behind an RPC into a partition (which
+        # later times out and aborts, or never finishes at all) is.
+        if attempt.committed:
+            return
+        stall_end = attempt.end_ms if attempt.end_ms is not None else end
+        for window in windows:
+            if attempt.start_ms <= window.start_ms and stall_end >= window.end_ms:
+                window.stalled += 1

@@ -70,6 +70,30 @@ class FaultSchedule:
         self._add(at_ms, "heal", "heal all partitions", self.testbed.heal)
         return self
 
+    def clear_partitions(self, at_ms: float) -> "FaultSchedule":
+        """End the group/classifier split at ``at_ms``, keeping isolations.
+
+        Unlike :meth:`heal`, this lets overlapping fault elements (a flapping
+        link inside a region partition) run to their own scheduled end.
+        """
+        self._add(at_ms, "clear-partition", "clear region partition",
+                  self.testbed.network.partitions.clear_partition)
+        return self
+
+    def degrade_latency(self, at_ms: float, factor: float) -> "FaultSchedule":
+        """Scale all message latencies by ``factor`` from ``at_ms`` on."""
+        if factor <= 0:
+            raise NetworkError(f"latency factor must be positive, got {factor!r}")
+        self._add(at_ms, "degrade", f"degrade latency x{factor:g}",
+                  lambda: self.testbed.network.degrade(factor))
+        return self
+
+    def restore_latency(self, at_ms: float) -> "FaultSchedule":
+        """End a degraded-latency epoch at ``at_ms``."""
+        self._add(at_ms, "restore", "restore latency",
+                  self.testbed.network.restore)
+        return self
+
     def crash_server(self, at_ms: float, server: str,
                      recover_after_ms: Optional[float] = None) -> "FaultSchedule":
         """Crash a server at ``at_ms`` (and optionally recover it later)."""
@@ -78,8 +102,15 @@ class FaultSchedule:
         self._add(at_ms, "crash", f"crash {server}",
                   self.testbed.servers[server].crash)
         if recover_after_ms is not None:
-            self._add(at_ms + recover_after_ms, "recover", f"recover {server}",
-                      self.testbed.servers[server].recover)
+            self.recover_server(at_ms + recover_after_ms, server)
+        return self
+
+    def recover_server(self, at_ms: float, server: str) -> "FaultSchedule":
+        """Recover a previously crashed server at ``at_ms``."""
+        if server not in self.testbed.servers:
+            raise NetworkError(f"unknown server {server!r}")
+        self._add(at_ms, "recover", f"recover {server}",
+                  self.testbed.servers[server].recover)
         return self
 
     def _add(self, at_ms: float, kind: str, description: str,
@@ -92,14 +123,28 @@ class FaultSchedule:
                                        description=description, apply=apply))
 
     # -- installation -----------------------------------------------------------
-    def install(self) -> List[FaultEvent]:
-        """Register every event with the simulation clock (relative to now)."""
+    def install(self,
+                observer: Optional[Callable[[FaultEvent], None]] = None
+                ) -> List[FaultEvent]:
+        """Register every event with the simulation clock (relative to now).
+
+        ``observer`` (if given) is invoked with each event at the moment it
+        fires — the hook the chaos nemesis uses to narrate a campaign.
+        """
         if self._installed:
             raise NetworkError("the schedule has already been installed")
         self._installed = True
         for event in sorted(self._events, key=lambda e: e.at_ms):
-            self.testbed.env.schedule(event.at_ms, event.apply)
+            if observer is None:
+                self.testbed.env.schedule(event.at_ms, event.apply)
+            else:
+                self.testbed.env.schedule(event.at_ms, self._fire, event, observer)
         return self.timeline()
+
+    @staticmethod
+    def _fire(event: FaultEvent, observer: Callable[[FaultEvent], None]) -> None:
+        event.apply()
+        observer(event)
 
     def timeline(self) -> List[FaultEvent]:
         """The scheduled events, sorted by time (for logging and reports)."""

@@ -64,6 +64,9 @@ class Network:
         self.topology = topology
         self.latency = latency
         self.partitions = partitions or PartitionManager()
+        #: Multiplier on every sampled one-way latency; chaos campaigns raise
+        #: it during degraded-latency epochs and restore it to 1.0 afterwards.
+        self.latency_factor = 1.0
         self.stats = NetworkStats()
         self._rng = (streams or RandomStreams(0)).stream("network")
         self._handlers: Dict[str, Callable[[Message], None]] = {}
@@ -101,9 +104,20 @@ class Network:
         if not self.partitions.connected(src, dst):
             self.stats.dropped_partition += 1
             return message.msg_id
-        delay = self.latency.one_way(self._rng, src, dst)
+        delay = self.latency.one_way(self._rng, src, dst) * self.latency_factor
         self.env.schedule(delay, self._deliver, message)
         return message.msg_id
+
+    # -- degraded-latency epochs ------------------------------------------------
+    def degrade(self, factor: float) -> None:
+        """Scale every subsequent message latency by ``factor`` (>= 1 slows)."""
+        if factor <= 0:
+            raise NetworkError(f"latency factor must be positive, got {factor!r}")
+        self.latency_factor = float(factor)
+
+    def restore(self) -> None:
+        """End a degraded-latency epoch."""
+        self.latency_factor = 1.0
 
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.dst)

@@ -40,6 +40,9 @@ class PartitionManager:
             seen |= group_set
             normalized.append(group_set)
         self._groups = normalized
+        # A static partition replaces any classifier-based one: leaving a
+        # stale classifier in place would silently AND the two splits.
+        self._classifier = None
 
     def partition_by(self, classifier: Callable[[str], Optional[str]]) -> None:
         """Partition by a classifier: sites communicate iff same group label.
@@ -48,8 +51,10 @@ class PartitionManager:
         so sites registered *after* the partition started (e.g. new clients)
         are still assigned to the right side of the split.  A classifier
         returning ``None`` marks a site as unreachable from everywhere.
+        Replaces any static partition previously set with :meth:`partition`.
         """
         self._classifier = classifier
+        self._groups = None
 
     def isolate(self, site: str) -> None:
         """Cut one site off from every other site."""
@@ -58,6 +63,17 @@ class PartitionManager:
     def rejoin(self, site: str) -> None:
         """Undo :meth:`isolate` for one site."""
         self._isolated.discard(site)
+
+    def clear_partition(self) -> None:
+        """Remove the group/classifier split but keep per-site isolations.
+
+        Chaos campaigns overlay independent fault elements — a region
+        partition may heal while a flapping link is still mid-epoch — so
+        ending the partition must not also rejoin isolated sites the way
+        :meth:`heal` does.
+        """
+        self._groups = None
+        self._classifier = None
 
     def heal(self) -> None:
         """Remove every partition and isolation."""

@@ -26,6 +26,14 @@ class TestParser:
         args_full = build_parser().parse_args(["table3", "--full"])
         assert args_full.quick is False
 
+    def test_availability_artifact_registered(self):
+        assert "availability" in ARTIFACTS
+
+    def test_json_flag_parses(self):
+        args = build_parser().parse_args(["availability", "--json", "out"])
+        assert args.json == "out"
+        assert build_parser().parse_args(["table3"]).json is None
+
 
 class TestArtifacts:
     @pytest.mark.parametrize("name", ["table2", "table3", "fig2", "tpcc"])

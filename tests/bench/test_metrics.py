@@ -1,6 +1,6 @@
 """Unit tests for benchmark metrics aggregation."""
 
-import math
+import json
 
 import pytest
 
@@ -32,7 +32,23 @@ class TestLatencySummary:
     def test_empty_samples(self):
         summary = LatencySummary.from_samples([])
         assert summary.count == 0
-        assert math.isnan(summary.mean)
+        assert summary.mean is None
+        assert summary.p95 is None
+        assert summary.maximum is None
+
+    def test_empty_samples_serialize_to_valid_json(self):
+        """Regression: empty sample sets used to emit NaN, which is invalid
+        JSON and corrupted serialized bench reports."""
+        summary = LatencySummary.from_samples([])
+        payload = json.dumps(summary.as_dict(), allow_nan=False)
+        assert "NaN" not in payload
+        assert json.loads(payload)["mean"] is None
+
+    def test_populated_summary_serializes(self):
+        summary = LatencySummary.from_samples([1.0, 2.0])
+        payload = json.loads(json.dumps(summary.as_dict(), allow_nan=False))
+        assert payload["count"] == 2
+        assert payload["mean"] == pytest.approx(1.5)
 
 
 class TestSummarizeRun:

@@ -81,6 +81,24 @@ class TestGracePeriod:
         assert stats.committed > 10
 
 
+class TestTelemetryIntegration:
+    def test_windows_exclude_warmup_like_aggregate_stats(self):
+        from repro.chaos.telemetry import TimelineTelemetry
+
+        telemetry = TimelineTelemetry(window_ms=50.0)
+        config = quick_config("eventual", warmup_ms=100.0)
+        stats = run_workload(config, telemetry=telemetry)
+        timelines = telemetry.build()
+        assert timelines  # one group per region with traffic
+        for timeline in timelines.values():
+            assert timeline.windows[0].start_ms == 100.0
+        windowed = sum(w.committed for t in timelines.values()
+                       for w in t.windows)
+        # Both sides exclude warmup; windows additionally exclude the grace
+        # period, so the windowed total can only be lower.
+        assert windowed <= stats.committed
+
+
 class TestExperimentHelpers:
     def test_figure4_point_structure(self):
         points = figure4_transaction_length(lengths=(1, 4), protocols=("eventual",),

@@ -1,0 +1,85 @@
+"""Unit tests for the nemesis: installation, narration, latency epochs."""
+
+import pytest
+
+from repro.chaos.campaign import (
+    Campaign,
+    CampaignAction,
+    canonical_partition_campaign,
+)
+from repro.chaos.nemesis import Nemesis
+from repro.errors import ReproError
+from repro.hat.testbed import Scenario, build_testbed
+from repro.hat.transaction import Operation, Transaction
+
+REGIONS = ["VA", "OR"]
+
+
+def run_txn(testbed, client, operations):
+    return testbed.env.run_until_complete(
+        client.execute(Transaction(list(operations)))
+    )
+
+
+class TestInstallation:
+    def test_install_registers_and_double_install_raises(self):
+        testbed = build_testbed(Scenario(regions=REGIONS, servers_per_cluster=1))
+        nemesis = Nemesis(testbed, canonical_partition_campaign(REGIONS))
+        assert not nemesis.installed
+        nemesis.install()
+        assert nemesis.installed
+        with pytest.raises(ReproError):
+            nemesis.install()
+
+    def test_narration_logs_fired_events_in_order(self):
+        testbed = build_testbed(Scenario(regions=REGIONS, servers_per_cluster=1))
+        campaign = canonical_partition_campaign(REGIONS, 100.0, 200.0, 100.0)
+        nemesis = Nemesis(testbed, campaign)
+        nemesis.install()
+        assert nemesis.log == []
+        testbed.run(400.0)
+        assert [entry.kind for entry in nemesis.log] == ["partition",
+                                                         "clear-partition"]
+        assert [entry.at_ms for entry in nemesis.log] == [100.0, 300.0]
+        text = nemesis.narration()
+        assert "partition" in text and "t=" in text
+
+    def test_idle_nemesis_narrates_nothing(self):
+        testbed = build_testbed(Scenario(regions=REGIONS, servers_per_cluster=1))
+        nemesis = Nemesis(testbed, canonical_partition_campaign(REGIONS))
+        assert "idle" in nemesis.narration()
+
+    def test_phase_at_delegates_to_campaign(self):
+        testbed = build_testbed(Scenario(regions=REGIONS, servers_per_cluster=1))
+        campaign = canonical_partition_campaign(REGIONS, 100.0, 200.0, 100.0)
+        nemesis = Nemesis(testbed, campaign)
+        assert nemesis.phase_at(50.0) == "baseline"
+        assert nemesis.phase_at(150.0) == "partition"
+
+
+class TestDegradedLatencyEpoch:
+    def test_latency_epoch_slows_transactions_then_recovers(self):
+        testbed = build_testbed(Scenario(regions=["VA"], servers_per_cluster=1,
+                                         fixed_latency_ms=1.0))
+        campaign = Campaign(
+            duration_ms=1_000.0,
+            actions=(
+                CampaignAction(at_ms=100.0, kind="degrade", factor=10.0),
+                CampaignAction(at_ms=500.0, kind="restore"),
+            ),
+            phases=(),
+        )
+        Nemesis(testbed, campaign).install()
+        client = testbed.make_client("eventual")
+        ops = [Operation.write("x", 1), Operation.read("x")]
+
+        before = run_txn(testbed, client, ops)
+        testbed.run(200.0 - testbed.env.now)  # into the degraded epoch
+        during = run_txn(testbed, client, ops)
+        testbed.run(600.0 - testbed.env.now)  # past the restore
+        after = run_txn(testbed, client, ops)
+
+        # Only the network legs scale (server service time does not), so the
+        # degraded run is several times slower, not exactly 10x.
+        assert during.latency_ms > 4.0 * before.latency_ms
+        assert after.latency_ms == pytest.approx(before.latency_ms, rel=0.2)

@@ -1,0 +1,178 @@
+"""Unit tests for the timeline telemetry layer."""
+
+import json
+
+import pytest
+
+from repro.chaos.campaign import CampaignPhase
+from repro.chaos.telemetry import (
+    AvailabilitySLO,
+    TimelineTelemetry,
+    availability_score,
+)
+from repro.errors import ReproError
+
+
+class FakeResult:
+    def __init__(self, end_ms, committed=True, internal_abort=False):
+        self.end_ms = end_ms
+        self.committed = committed
+        self.internal_abort = internal_abort
+
+
+def record(telemetry, group, start_ms, end_ms=None, committed=True,
+           internal=False):
+    attempt = telemetry.begin(group, start_ms)
+    if end_ms is not None:
+        telemetry.complete(attempt, FakeResult(end_ms, committed, internal))
+    return attempt
+
+
+class TestWindowing:
+    def test_outcomes_bucket_by_end_time(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 300.0)
+        record(telemetry, "VA", 10.0, 50.0)                    # window 0
+        record(telemetry, "VA", 90.0, 150.0)                   # window 1
+        record(telemetry, "VA", 140.0, 160.0, committed=False)  # window 1
+        record(telemetry, "VA", 200.0, 290.0, committed=False,
+               internal=True)                                   # window 2
+        windows = telemetry.build()["VA"].windows
+        assert [w.committed for w in windows] == [1, 1, 0]
+        assert [w.external_aborts for w in windows] == [0, 1, 0]
+        assert [w.internal_aborts for w in windows] == [0, 0, 1]
+
+    def test_latency_summary_per_window(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 200.0)
+        record(telemetry, "VA", 0.0, 40.0)
+        record(telemetry, "VA", 20.0, 80.0)
+        windows = telemetry.build()["VA"].windows
+        assert windows[0].latency.count == 2
+        assert windows[0].latency.mean == pytest.approx(50.0)
+        assert windows[1].latency.count == 0
+        assert windows[1].latency.mean is None
+
+    def test_result_after_run_end_not_bucketed(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 200.0)
+        record(telemetry, "VA", 90.0, 450.0)  # commits in the grace period
+        windows = telemetry.build()["VA"].windows
+        assert sum(w.committed for w in windows) == 0
+        # Slow but ultimately committing: latency, not a stall.
+        assert all(w.stalled == 0 for w in windows)
+
+    def test_window_spanning_abort_is_a_stall(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 300.0)
+        # Wedged behind a partition until an RPC timeout aborts it.
+        record(telemetry, "VA", 90.0, 250.0, committed=False)
+        windows = telemetry.build()["VA"].windows
+        assert [w.stalled for w in windows] == [0, 1, 0]
+        assert windows[2].external_aborts == 1
+
+    def test_groups_are_independent(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 100.0)
+        record(telemetry, "VA", 0.0, 10.0)
+        record(telemetry, "OR", 0.0, 20.0, committed=False)
+        timelines = telemetry.build()
+        assert timelines["VA"].windows[0].committed == 1
+        assert timelines["OR"].windows[0].external_aborts == 1
+
+    def test_build_requires_start_run(self):
+        with pytest.raises(ReproError):
+            TimelineTelemetry().build()
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            TimelineTelemetry(window_ms=0.0)
+        with pytest.raises(ReproError):
+            TimelineTelemetry().start_run(10.0, 10.0)
+
+
+class TestStalls:
+    def test_open_attempt_stalls_every_covered_window(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 400.0)
+        record(telemetry, "VA", 120.0)  # never completes (wedged client)
+        windows = telemetry.build()["VA"].windows
+        assert [w.stalled for w in windows] == [0, 0, 1, 1]
+
+    def test_fast_transactions_never_stall(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 200.0)
+        record(telemetry, "VA", 10.0, 90.0)
+        windows = telemetry.build()["VA"].windows
+        assert all(w.stalled == 0 for w in windows)
+
+
+class TestSLOScoring:
+    def test_window_meets_default_slo(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 100.0)
+        record(telemetry, "VA", 0.0, 10.0)
+        window = telemetry.build()["VA"].windows[0]
+        assert window.success_fraction == 1.0
+        assert window.meets(AvailabilitySLO())
+
+    def test_silent_window_fails_min_committed(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 100.0)
+        window = telemetry.build().get("VA")
+        assert window is None  # no traffic, no group
+        score = availability_score([], AvailabilitySLO())
+        assert score is None
+
+    def test_error_storm_fails_success_fraction(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 100.0)
+        record(telemetry, "VA", 0.0, 10.0)
+        for t in range(5):
+            record(telemetry, "VA", t * 10.0, t * 10.0 + 5.0, committed=False)
+        window = telemetry.build()["VA"].windows[0]
+        assert window.success_fraction == pytest.approx(1.0 / 6.0)
+        assert not window.meets(AvailabilitySLO())
+
+    def test_internal_aborts_do_not_hurt_availability(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 100.0)
+        record(telemetry, "VA", 0.0, 10.0)
+        record(telemetry, "VA", 0.0, 20.0, committed=False, internal=True)
+        window = telemetry.build()["VA"].windows[0]
+        assert window.success_fraction == 1.0
+        assert window.meets(AvailabilitySLO())
+
+    def test_p95_bound_and_stall_policy(self):
+        slo = AvailabilitySLO(max_p95_latency_ms=50.0, allow_stalls=False)
+        telemetry = TimelineTelemetry(window_ms=100.0, slo=slo)
+        telemetry.start_run(0.0, 100.0)
+        record(telemetry, "VA", 0.0, 80.0)  # latency 80 > bound
+        window = telemetry.build()["VA"].windows[0]
+        assert not window.meets(slo)
+
+    def test_phase_availability(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 400.0)
+        record(telemetry, "VA", 0.0, 50.0)
+        record(telemetry, "VA", 100.0, 150.0)
+        # Nothing commits in windows 2-3.
+        timeline = telemetry.build()["VA"]
+        phases = [CampaignPhase("good", 0.0, 200.0),
+                  CampaignPhase("bad", 200.0, 400.0)]
+        scores = timeline.phase_availability(phases, AvailabilitySLO())
+        assert scores["good"] == 1.0
+        assert scores["bad"] == 0.0
+
+
+class TestSerialization:
+    def test_windows_serialize_to_strict_json(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 300.0)
+        record(telemetry, "VA", 0.0, 10.0)
+        # Windows 1-2 are empty: their latency stats must be None, not NaN.
+        windows = telemetry.build()["VA"].windows
+        payload = json.dumps([w.as_dict() for w in windows], allow_nan=False)
+        decoded = json.loads(payload)
+        assert decoded[1]["latency"]["mean"] is None
+        assert decoded[0]["committed"] == 1

@@ -67,3 +67,38 @@ class TestPartitionManager:
         assert snapshot["groups"] == [["a", "b"]]
         assert snapshot["isolated"] == ["z"]
         assert snapshot["active"] is True
+
+
+class TestPartitionStateTransitions:
+    """partition() and partition_by() replace each other, never stack."""
+
+    def test_partition_clears_stale_classifier(self):
+        manager = PartitionManager()
+        manager.partition_by(lambda site: None)  # everything unreachable
+        manager.partition([["a", "b"], ["c"]])
+        # The classifier would have vetoed a<->b; the static split must win.
+        assert manager.connected("a", "b")
+        assert not manager.connected("a", "c")
+
+    def test_partition_by_clears_stale_groups(self):
+        manager = PartitionManager()
+        manager.partition([["a"], ["b"]])
+        manager.partition_by(lambda site: "same")
+        # The old groups would have vetoed a<->b; the classifier must win.
+        assert manager.connected("a", "b")
+
+    def test_clear_partition_keeps_isolations(self):
+        manager = PartitionManager()
+        manager.isolate("flappy")
+        manager.partition([["a"], ["b"]])
+        manager.clear_partition()
+        assert manager.connected("a", "b")
+        assert not manager.connected("flappy", "a")
+        assert manager.active
+
+    def test_clear_partition_removes_classifier_too(self):
+        manager = PartitionManager()
+        manager.partition_by(lambda site: None)
+        manager.clear_partition()
+        assert manager.connected("a", "b")
+        assert not manager.active

@@ -18,18 +18,25 @@ Writes ``availability.json`` (the same artifact
 terminal rendering.
 """
 
+import argparse
 import json
 
 from repro.bench.experiments import availability_experiment
 from repro.bench.report import availability_report_json, format_availability
 
 
-def main():
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter campaign phases (for smoke tests)")
+    args = parser.parse_args(argv)
+    scale = 0.25 if args.quick else 1.0
     results = availability_experiment(
         protocols=("causal", "master"),
-        baseline_ms=1_500.0,
-        partition_ms=3_000.0,
-        recovery_ms=1_500.0,
+        baseline_ms=1_500.0 * scale,
+        partition_ms=3_000.0 * scale,
+        recovery_ms=1_500.0 * scale,
+        window_ms=500.0 * scale,
     )
     print(format_availability(results))
     print()

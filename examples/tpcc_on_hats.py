@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """TPC-C on Highly Available Transactions (the paper's Section 6.2).
 
-Three parts:
+Four parts:
 
 1. The static requirements analysis: which of the five TPC-C transactions can
    execute as HATs, and what each one needs.
@@ -11,12 +11,18 @@ Three parts:
    network partition keep committing (availability!) but break the
    *sequential* order-id requirement — exactly the coordination HATs cannot
    provide.
+4. The measurement: the pluggable TPC-C driver run closed-loop through the
+   simulated cluster under a weak HAT stack and under serializable locking,
+   with the recorded histories audited for duplicate order ids and double
+   deliveries (the ``tpcc-sim`` bench artifact, in miniature).
 
 Run with::
 
     python examples/tpcc_on_hats.py
 """
 
+from repro.adya.history import HistoryRecorder
+from repro.bench.runner import RunConfig, run_workload
 from repro.hat import Scenario, build_testbed
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload
 from repro.workloads.tpcc_analysis import (
@@ -25,6 +31,8 @@ from repro.workloads.tpcc_analysis import (
     check_unique_order_ids,
     hat_compliance_table,
 )
+from repro.workloads.tpcc_audit import audit_tpcc_history
+from repro.workloads.tpcc_driver import TPCCDriverFactory
 
 
 def run_tpcc_mix(transactions=150):
@@ -58,6 +66,19 @@ def partitioned_new_orders(per_side=15):
     return issued
 
 
+def tpcc_through_the_cluster(protocol, duration_ms=800.0):
+    """Closed-loop TPC-C through the simulated cluster, history audited."""
+    scenario = Scenario(regions=["VA", "OR"], servers_per_cluster=2)
+    testbed = build_testbed(scenario)
+    recorder = HistoryRecorder()
+    factory = TPCCDriverFactory()
+    config = RunConfig(protocol=protocol, scenario=scenario, workload=factory,
+                       clients_per_cluster=2, duration_ms=duration_ms,
+                       warmup_ms=0.0, seed=3)
+    stats = run_workload(config, testbed=testbed, recorder=recorder)
+    return stats, audit_tpcc_history(recorder.build())
+
+
 def main():
     print("Section 6.2 — TPC-C requirements analysis")
     print("=" * 64)
@@ -83,6 +104,15 @@ def main():
     print(f"  id collisions from naive per-side counters: {len(unique)} "
           f"(a HAT system avoids these by deriving ids from client id + "
           f"sequence number, at the cost of sequential ordering)")
+    print("\nTPC-C through the simulated cluster (the tpcc-sim artifact)...")
+    for protocol in ("read-committed", "lock-sr"):
+        stats, audit = tpcc_through_the_cluster(protocol)
+        print(f"  {protocol:<16} committed={stats.committed:<5} "
+              f"orders={audit.orders_claimed:<4} "
+              f"duplicate-ids={len(audit.duplicate_order_ids):<4} "
+              f"gaps={len(audit.gapped_order_ids):<3} "
+              f"double-deliveries={len(audit.double_deliveries)}")
+
     print("\nTakeaway: four of five TPC-C transactions run happily as HATs;")
     print("sequential district order ids are the part that fundamentally needs")
     print("unavailable coordination (or real-world compensation).")

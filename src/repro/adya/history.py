@@ -58,6 +58,8 @@ class HistoryTransaction:
     writes: List[WriteEvent] = field(default_factory=list)
     #: Commit position used to order transactions within a session.
     commit_order: int = 0
+    #: Workload-level tag (e.g. a TPC-C program name), when recorded live.
+    label: Optional[str] = None
 
     def final_write(self, key: str) -> Optional[WriteEvent]:
         """The transaction's last write to ``key`` (its installed version)."""
@@ -268,6 +270,7 @@ class HistoryRecorder:
                 txn_id=result.txn_id,
                 committed=result.committed,
                 session_id=result.session_id,
+                label=getattr(transaction, "label", None),
             )
             index = 0
             for observation in result.reads:

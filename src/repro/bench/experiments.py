@@ -13,18 +13,32 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.adya.history import HistoryRecorder
 from repro.bench.metrics import RunStats
 from repro.bench.runner import RunConfig, run_workload
-from repro.chaos.campaign import Campaign, canonical_partition_campaign
+from repro.chaos.campaign import (
+    Campaign,
+    CampaignPhase,
+    canonical_partition_campaign,
+)
 from repro.chaos.nemesis import NarrationEntry, Nemesis
 from repro.chaos.telemetry import (
     AvailabilitySLO,
     GroupTimeline,
     TimelineTelemetry,
+    availability_score,
 )
 from repro.errors import ReproError
 from repro.hat.protocols import EVENTUAL, MASTER, MAV, QUORUM, READ_COMMITTED
 from repro.hat.testbed import FIVE_REGION_DEPLOYMENT, Scenario, build_testbed
+from repro.workloads.base import run_preload
+from repro.workloads.tpcc import TPCCConfig
+from repro.workloads.tpcc_audit import TPCCAnomalyReport, audit_tpcc_history
+from repro.workloads.tpcc_driver import (
+    CLUSTER_MIX,
+    TPCCDriverFactory,
+    contended_tpcc_config,
+)
 from repro.workloads.ycsb import YCSBConfig
 
 #: The four configurations plotted in Figures 3-6.
@@ -38,6 +52,13 @@ COMPOSITE_SWEEP_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal", "mav+causa
 #: Table 3 against the unavailable baselines it argues against.
 AVAILABILITY_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal",
                           "mav+causal", MASTER, QUORUM)
+
+#: Protocols swept by the TPC-C simulation: every HAT base, the strongest
+#: sticky-available stack, and the coordinated baselines whose anomaly
+#: counts the Section 6.2 analysis predicts to differ (``lock-sr`` is the
+#: serializable 2PL baseline).
+TPCC_SIM_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal",
+                      MASTER, "lock-sr")
 
 
 @dataclass
@@ -353,5 +374,123 @@ def availability_experiment(
             groups=telemetry.build(),
             stats=stats,
             narration=list(nemesis.log),
+        ))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# TPC-C through the simulated cluster (the Section 6.2 predictions, measured)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TPCCSimResult:
+    """One protocol's TPC-C run: throughput plus the audited anomalies."""
+
+    protocol: str
+    stats: RunStats
+    anomalies: TPCCAnomalyReport
+    #: Committed transactions per TPC-C program (from the shared mirror).
+    committed_by_type: Dict[str, int] = field(default_factory=dict)
+    #: Set when the run executed under a partition campaign.
+    campaign: Optional[Campaign] = None
+    #: Per-phase worst-group availability, when a campaign ran.
+    phase_availability: Dict[str, Optional[float]] = field(default_factory=dict)
+    narration: List[NarrationEntry] = field(default_factory=list)
+
+    @property
+    def partitioned(self) -> bool:
+        return self.campaign is not None
+
+
+#: The contended TPC-C scale the simulation sweeps by default (the same
+#: config :class:`TPCCDriverFactory` defaults to — one source of truth).
+default_tpcc_config = contended_tpcc_config
+
+
+def tpcc_sim_experiment(
+    protocols: Sequence[str] = TPCC_SIM_PROTOCOLS,
+    regions: Sequence[str] = ("VA", "OR"),
+    servers_per_cluster: int = 2,
+    clients_per_cluster: int = 2,
+    duration_ms: float = 1500.0,
+    tpcc: Optional[TPCCConfig] = None,
+    partition: bool = False,
+    baseline_ms: float = 1_000.0,
+    partition_ms: float = 2_000.0,
+    recovery_ms: float = 1_000.0,
+    window_ms: float = 500.0,
+    slo: Optional[AvailabilitySLO] = None,
+    seed: int = 0,
+) -> List[TPCCSimResult]:
+    """Run the TPC-C mix through every protocol and audit the histories.
+
+    Each protocol gets a fresh testbed, a fresh shared-mirror driver
+    factory, and its own history recorder; afterwards the auditor counts
+    the Section 6.2 anomalies (duplicate/gapped district order ids, double
+    deliveries).  With ``partition=True`` the run executes under the
+    canonical baseline -> region-partition -> recovery campaign with
+    timeline telemetry, measuring what a partition does to *both*
+    availability and anomaly rates: the HAT stacks keep serving (and keep
+    colliding on order ids), the coordinated baselines go dark but stay
+    clean.
+    """
+    results: List[TPCCSimResult] = []
+    for protocol in protocols:
+        scenario = Scenario(regions=list(regions),
+                            servers_per_cluster=servers_per_cluster, seed=seed)
+        testbed = build_testbed(scenario)
+        recorder = HistoryRecorder()
+        factory = TPCCDriverFactory(config=tpcc or default_tpcc_config())
+        # Preload first: the campaign (if any) installs afterwards, so its
+        # fault timeline is relative to the measured run, not the load.
+        run_preload(testbed, factory)
+        run_start_ms = testbed.env.now
+        campaign = None
+        telemetry = None
+        nemesis = None
+        run_duration = duration_ms
+        if partition:
+            campaign = canonical_partition_campaign(
+                list(regions), baseline_ms=baseline_ms,
+                partition_ms=partition_ms, recovery_ms=recovery_ms)
+            nemesis = Nemesis(testbed, campaign)
+            nemesis.install()
+            telemetry = TimelineTelemetry(window_ms=window_ms, slo=slo)
+            run_duration = campaign.duration_ms
+        config = RunConfig(
+            protocol=protocol,
+            scenario=scenario,
+            workload=factory,
+            clients_per_cluster=clients_per_cluster,
+            duration_ms=run_duration,
+            warmup_ms=0.0,
+            seed=seed,
+        )
+        stats = run_workload(config, testbed=testbed, recorder=recorder,
+                             telemetry=telemetry, preload=False)
+        report = audit_tpcc_history(recorder.build())
+        phase_availability: Dict[str, Optional[float]] = {}
+        if campaign is not None and telemetry is not None:
+            # Telemetry windows carry absolute simulated times; shift the
+            # campaign phases by the preloaded run's start before scoring.
+            shifted = [CampaignPhase(name=p.name,
+                                     start_ms=p.start_ms + run_start_ms,
+                                     end_ms=p.end_ms + run_start_ms)
+                       for p in campaign.phases]
+            groups = telemetry.build()
+            for phase in shifted:
+                scores = [availability_score(t.phase_windows(phase),
+                                             telemetry.slo)
+                          for t in groups.values()]
+                scores = [s for s in scores if s is not None]
+                phase_availability[phase.name] = min(scores) if scores else None
+        results.append(TPCCSimResult(
+            protocol=protocol,
+            stats=stats,
+            anomalies=report,
+            committed_by_type=dict(factory.mirror.committed_by_type),
+            campaign=campaign,
+            phase_availability=phase_availability,
+            narration=list(nemesis.log) if nemesis is not None else [],
         ))
     return results

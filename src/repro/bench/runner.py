@@ -1,23 +1,33 @@
 """Closed-loop workload driver.
 
-Mirrors the paper's methodology: a fixed number of YCSB client threads per
-cluster issue transactions back-to-back ("closed loop") for a fixed duration;
-throughput is committed transactions per second and latency is the
+Mirrors the paper's methodology: a fixed number of client threads per
+cluster issue transactions back-to-back ("closed loop") for a fixed
+duration; throughput is committed transactions per second and latency is the
 transaction round-trip observed by the clients.  ``protocol`` is any spec
 the protocol registry accepts — a plain base (``"mav"``) or a guarantee
 stack (``"causal"``, ``"mav+wfr+mr"``) — so figure-style experiments can
 sweep composite protocols.
+
+The workload is pluggable: ``RunConfig.workload`` is any *workload factory*
+(see :mod:`repro.workloads.base`) — :class:`~repro.workloads.ycsb.YCSBConfig`
+for the paper's YCSB runs, :class:`~repro.workloads.tpcc_driver.TPCCDriverFactory`
+for TPC-C through the cluster.  The runner builds one workload per client,
+executes the factory's preload (plus an anti-entropy settle period) before
+the measured interval, and feeds every finished result back through the
+workload's ``observe`` hook so stateful drivers track what actually
+committed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, List, Optional
 
 from repro.bench.metrics import RunStats, summarize_run
 from repro.hat.testbed import Scenario, Testbed, build_testbed
 from repro.hat.transaction import TransactionResult
-from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
+from repro.workloads.base import Workload, as_workload_factory, run_preload
+from repro.workloads.ycsb import YCSBConfig
 
 #: Default grace period: this multiple of the deployment's worst mean RTT.
 GRACE_RTT_MULTIPLE = 10.0
@@ -38,7 +48,9 @@ class RunConfig:
 
     protocol: str
     scenario: Scenario
-    workload: YCSBConfig = field(default_factory=YCSBConfig)
+    #: Any workload factory (``build(seed, session_id)`` plus optional
+    #: ``initial_transactions()``/``settle_ms`` — see repro.workloads.base).
+    workload: Any = field(default_factory=YCSBConfig)
     clients_per_cluster: int = 4
     duration_ms: float = 1000.0
     warmup_ms: float = 100.0
@@ -66,16 +78,27 @@ def default_grace_period_ms(testbed: Testbed) -> float:
 def run_workload(config: RunConfig,
                  testbed: Optional[Testbed] = None,
                  recorder: Optional[object] = None,
-                 telemetry: Optional[object] = None) -> RunStats:
+                 telemetry: Optional[object] = None,
+                 preload: bool = True) -> RunStats:
     """Execute one closed-loop run and aggregate its results.
 
     ``telemetry`` (a :class:`~repro.chaos.telemetry.TimelineTelemetry`)
     receives a ``begin``/``complete`` pair per transaction, keyed by the
     issuing client's home region, so chaos experiments can build per-window
     availability timelines out of the same closed-loop run.
+
+    ``preload=False`` skips the factory's initial load — for callers that
+    already ran :func:`~repro.workloads.base.run_preload` themselves, e.g.
+    to install a chaos campaign *after* the preload so its fault timeline
+    is relative to the measured run.
     """
     testbed = testbed or build_testbed(config.scenario)
     env = testbed.env
+    factory = as_workload_factory(config.workload)
+    # Preload (e.g. the TPC-C initial contents) happens before the measured
+    # interval, through a plain eventual client with no recorder attached.
+    if preload:
+        run_preload(testbed, factory)
     start_ms = env.now
     end_ms = start_ms + config.duration_ms
     results: List[TransactionResult] = []
@@ -84,7 +107,8 @@ def run_workload(config: RunConfig,
         # with the warmup-excluding aggregate stats.
         telemetry.start_run(start_ms + config.warmup_ms, end_ms)
 
-    def client_loop(client, workload: YCSBWorkload, group: str):
+    def client_loop(client, workload: Workload, group: str):
+        observe = getattr(workload, "observe", None)
         while env.now < end_ms:
             transaction = workload.next_transaction()
             attempt = None
@@ -92,6 +116,8 @@ def run_workload(config: RunConfig,
                 attempt = telemetry.begin(group, env.now)
             result = yield client.execute(transaction)
             results.append(result)
+            if observe is not None:
+                observe(result)
             if attempt is not None:
                 telemetry.complete(attempt, result)
             if not result.committed and result.latency_ms <= 0.0:
@@ -106,9 +132,8 @@ def run_workload(config: RunConfig,
             client = testbed.make_client(config.protocol,
                                          home_cluster=cluster_name,
                                          recorder=recorder)
-            workload = YCSBWorkload(config.workload,
-                                    seed=config.seed * 10_000 + client_index,
-                                    session_id=client_index)
+            workload = factory.build(seed=config.seed * 10_000 + client_index,
+                                     session_id=client_index)
             env.process(client_loop(client, workload, group))
             client_index += 1
 

@@ -46,7 +46,7 @@ class ClientNode:
         self.name = name
         self.home_cluster = home_cluster
         self.client_id = client_id if client_id is not None else next(_CLIENT_IDS)
-        self._sequence = itertools.count(1)
+        self._next_sequence = 1
         network.register(name, self._on_message)
 
     def _on_message(self, message) -> None:
@@ -57,7 +57,30 @@ class ClientNode:
     # -- timestamps ------------------------------------------------------------
     def next_timestamp(self) -> Timestamp:
         """A unique transaction timestamp (client id + sequence number)."""
-        return Timestamp(sequence=next(self._sequence), client_id=self.client_id)
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return Timestamp(sequence=sequence, client_id=self.client_id)
+
+    def witness_timestamp(self, timestamp: Optional[Timestamp]) -> None:
+        """Lamport receive rule: never issue a sequence at or below one read.
+
+        Without this, a fresh client's early writes carry lower sequence
+        numbers than versions already in the store (e.g. a benchmark
+        preload), so last-writer-wins silently discards them and the
+        read-your-writes session guarantee cannot hold.  Advancing the
+        counter past every observed timestamp makes the per-item LWW order
+        respect the reads-from order each client actually saw.
+        """
+        if timestamp is not None and timestamp.sequence >= self._next_sequence:
+            self._next_sequence = timestamp.sequence + 1
+
+    def timestamp_is_stale(self, timestamp: Timestamp) -> bool:
+        """True when reads have witnessed sequences beyond ``timestamp``.
+
+        A write carrying a stale timestamp would order *before* a version
+        its transaction already observed, losing last-writer-wins to it.
+        """
+        return self._next_sequence > timestamp.sequence + 1
 
     def commit_timestamp(self) -> Timestamp:
         """A timestamp whose sequence tracks the current simulated time.

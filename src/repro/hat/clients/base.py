@@ -30,6 +30,7 @@ from repro.hat.transaction import (
     ReadObservation,
     Transaction,
     TransactionResult,
+    resolve_derived,
 )
 from repro.sim import Process
 from repro.sim.process import all_of
@@ -139,6 +140,9 @@ class ProtocolClient:
         return reachable[0]
 
     def _observe(self, result: TransactionResult, key: str, version: Version) -> Version:
+        # Lamport receive rule: future timestamps must order after anything
+        # this client has read, or LWW would discard its subsequent writes.
+        self.node.witness_timestamp(version.timestamp)
         result.reads.append(ReadObservation(key=key, version=version))
         return version
 
@@ -173,11 +177,16 @@ class ReadRequest:
 
 @dataclass
 class TxnContext:
-    """Per-transaction scratch state shared by the driver and its layers."""
+    """Per-transaction scratch state shared by the driver and its layers.
+
+    ``timestamp`` is drawn *lazily* (see :meth:`LayeredClient._txn_timestamp`)
+    so that it orders after every version the transaction has read by the
+    time its writes install — the write-side half of the Lamport rule.
+    """
 
     transaction: Transaction
     result: TransactionResult
-    timestamp: Timestamp
+    timestamp: Optional[Timestamp]
     #: Operation list after the layers' ``plan`` rewrites.
     plan: List[Operation] = field(default_factory=list)
     #: key -> value buffered by a write-buffering layer until commit.
@@ -240,10 +249,31 @@ class LayeredClient(ProtocolClient):
         return self.session.stale_reads - self.session.cache_hits
 
     # -- the driver ---------------------------------------------------------------
+    def _txn_timestamp(self, ctx: TxnContext, refresh: bool = False) -> Timestamp:
+        """The transaction's write timestamp, drawn on first use.
+
+        Deferring the draw until a write needs it (or the transaction ends)
+        lets the reads that precede it advance the node's Lamport counter
+        first, so the installed version orders after everything this
+        transaction observed — without it, a fresh client's first write
+        would carry a lower sequence than a preloaded version and silently
+        lose last-writer-wins.
+
+        ``refresh=True`` (used at the moment a write actually installs)
+        additionally redraws a timestamp that has gone stale because a
+        *later* read witnessed a higher sequence — e.g. a buffered-write
+        echo forced an early draw, or an earlier direct write fixed the
+        timestamp before a subsequent read.  All writes of one flush batch
+        share the single timestamp drawn at the start of the flush.
+        """
+        if ctx.timestamp is None or (
+                refresh and self.node.timestamp_is_stale(ctx.timestamp)):
+            ctx.timestamp = self.node.next_timestamp()
+            ctx.result.timestamp = ctx.timestamp
+        return ctx.timestamp
+
     def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
-        ctx = TxnContext(transaction=transaction, result=result,
-                         timestamp=self.node.next_timestamp())
-        result.timestamp = ctx.timestamp
+        ctx = TxnContext(transaction=transaction, result=result, timestamp=None)
         plan = list(transaction.operations)
         for layer in self.layers:
             plan = layer.plan(plan, ctx)
@@ -252,6 +282,7 @@ class LayeredClient(ProtocolClient):
             yield from layer.begin(ctx)
         for op in plan:
             if op.is_write:
+                op = resolve_derived(transaction, op, result)
                 if self._write_layer is not None:
                     self._write_layer.buffer_write(ctx, op)
                 else:
@@ -262,13 +293,16 @@ class LayeredClient(ProtocolClient):
                 yield from self._scan_home_cluster(op, result)
         if self._write_layer is not None:
             yield from self._write_layer.flush(ctx)
+        # Read-only transactions still get a commit timestamp (post-reads).
+        self._txn_timestamp(ctx)
         for layer in self.layers:
             layer.finalize(ctx)
 
     def _direct_write(self, ctx: TxnContext, op: Operation) -> Generator:
         """Apply one write immediately at a sticky replica (Read Uncommitted)."""
         replica = self._pick_replica(op.key)
-        version = self._make_version(op.key, op.value, ctx.timestamp,
+        version = self._make_version(op.key, op.value,
+                                     self._txn_timestamp(ctx, refresh=True),
                                      ctx.transaction.txn_id)
         yield self._issue(ctx.result, replica, self.put_kind, {
             "version": version,

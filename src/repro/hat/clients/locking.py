@@ -17,7 +17,7 @@ from typing import Dict, Generator, List, Tuple
 from repro.errors import ExternalAbort, RequestTimeout, UnavailableError
 from repro.hat.clients.base import ProtocolClient
 from repro.hat.protocols import TWO_PHASE_LOCKING
-from repro.hat.transaction import Transaction, TransactionResult
+from repro.hat.transaction import Transaction, TransactionResult, resolve_derived
 from repro.sim.process import all_of
 
 
@@ -44,10 +44,13 @@ class TwoPhaseLockingClient(ProtocolClient):
 
         try:
             # Growing phase: one lock acquisition (and one data round trip for
-            # reads) per operation, each against the key's master.
-            for op in transaction.operations:
+            # reads) per operation, each against the key's master.  Derived
+            # writes resolve here, while every lock acquired so far is still
+            # held — so the read-modify-write they encode is serialized.
+            for op in list(transaction.operations):
                 if op.is_scan:
                     raise UnavailableError("2PL prototype does not support scans")
+                op = resolve_derived(transaction, op, result)
                 master = self.node.master_replica(op.key)
                 if master not in home_servers:
                     result.remote_rpcs += 1

@@ -15,7 +15,7 @@ from typing import Generator
 from repro.errors import RequestTimeout, UnavailableError
 from repro.hat.clients.base import ProtocolClient
 from repro.hat.protocols import MASTER
-from repro.hat.transaction import Transaction, TransactionResult
+from repro.hat.transaction import Transaction, TransactionResult, resolve_derived
 
 
 class MasterClient(ProtocolClient):
@@ -31,10 +31,11 @@ class MasterClient(ProtocolClient):
         result.timestamp = timestamp
         home_servers = set(self.node.config.cluster(self.node.home_cluster).servers)
 
-        for op in transaction.operations:
+        for op in list(transaction.operations):
             if op.is_scan:
                 raise UnavailableError("the master configuration does not "
                                        "support predicate reads in this prototype")
+            op = resolve_derived(transaction, op, result)
             master = self.node.master_replica(op.key)
             if not self.node.network.partitions.connected(self.node.name, master):
                 raise UnavailableError(

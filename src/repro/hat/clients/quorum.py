@@ -15,7 +15,7 @@ from typing import Generator
 from repro.errors import UnavailableError
 from repro.hat.clients.base import ProtocolClient
 from repro.hat.protocols import QUORUM
-from repro.hat.transaction import Transaction, TransactionResult
+from repro.hat.transaction import Transaction, TransactionResult, resolve_derived
 from repro.replication.quorum import quorum_of
 
 
@@ -26,17 +26,23 @@ class QuorumClient(ProtocolClient):
     highly_available = False
 
     def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
-        timestamp = self.node.next_timestamp()
-        result.timestamp = timestamp
+        # Drawn lazily, per write, so the Lamport rule holds: a write's
+        # timestamp must order after every version this transaction has
+        # read, or the quorum merge would discard it as older.
+        timestamp = None
         home_servers = set(self.node.config.cluster(self.node.home_cluster).servers)
 
-        for op in transaction.operations:
+        for op in list(transaction.operations):
             if op.is_scan:
                 raise UnavailableError("quorum prototype does not support scans")
+            op = resolve_derived(transaction, op, result)
             replicas = self.node.all_replicas(op.key)
             majority = len(replicas) // 2 + 1
             result.remote_rpcs += sum(1 for r in replicas if r not in home_servers)
             if op.is_write:
+                if timestamp is None or self.node.timestamp_is_stale(timestamp):
+                    timestamp = self.node.next_timestamp()
+                    result.timestamp = timestamp
                 version = self._make_version(op.key, op.value, timestamp,
                                              transaction.txn_id)
                 futures = [
@@ -56,3 +62,6 @@ class QuorumClient(ProtocolClient):
                 versions = [reply["version"] for reply in replies]
                 latest = max(versions, key=lambda v: v.timestamp)
                 self._observe(result, op.key, latest)
+        if timestamp is None:
+            # Read-only transactions still get a (post-reads) timestamp.
+            result.timestamp = self.node.next_timestamp()

@@ -124,10 +124,15 @@ class WriteBufferingLayer(GuaranteeLayer):
         if op.key not in ctx.write_buffer:
             return None
         return self.client._make_version(op.key, ctx.write_buffer[op.key],
-                                         ctx.timestamp, ctx.transaction.txn_id)
+                                         self.client._txn_timestamp(ctx),
+                                         ctx.transaction.txn_id)
 
     def flush(self, ctx: TxnContext) -> Generator:
         client = self.client
+        # One commit timestamp for the whole batch, redrawn here if a read
+        # after the early draw (a buffered-write echo) witnessed newer
+        # versions — otherwise the batch would lose LWW to what it read.
+        client._txn_timestamp(ctx, refresh=True)
         futures = []
         for key, value in ctx.write_buffer.items():
             replica = client._pick_replica(key)
@@ -140,7 +145,8 @@ class WriteBufferingLayer(GuaranteeLayer):
             yield all_of(client.node.env, futures)
 
     def _flush_version(self, ctx: TxnContext, key: str, value: Any) -> Version:
-        return self.client._make_version(key, value, ctx.timestamp,
+        return self.client._make_version(key, value,
+                                         self.client._txn_timestamp(ctx),
                                          ctx.transaction.txn_id)
 
     def _flush_payload(self, version: Version) -> Dict[str, Any]:
@@ -179,7 +185,8 @@ class AtomicVisibilityLayer(WriteBufferingLayer):
                 ctx.required[sibling] = version.timestamp
 
     def _flush_version(self, ctx: TxnContext, key: str, value: Any) -> Version:
-        return self.client._make_version(key, value, ctx.timestamp,
+        return self.client._make_version(key, value,
+                                         self.client._txn_timestamp(ctx),
                                          ctx.transaction.txn_id,
                                          siblings=frozenset(ctx.write_buffer))
 

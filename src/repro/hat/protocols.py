@@ -66,6 +66,7 @@ _ALIASES: Dict[str, str] = {
     "ru": EVENTUAL,
     "rc": READ_COMMITTED,
     "2pl": TWO_PHASE_LOCKING,
+    "lock-sr": TWO_PHASE_LOCKING,
     "cut-isolation": CUT_ISOLATION,
 }
 

@@ -34,6 +34,9 @@ class Operation:
     predicate: Optional[Callable[[str, Any], bool]] = None
     #: Human-readable predicate label, used in histories and reports.
     predicate_name: Optional[str] = None
+    #: For derived writes: ``(reads so far) -> (key, value)``, resolved by the
+    #: protocol client at execution time (see :func:`resolve_derived`).
+    derive: Optional[Callable[[Dict[str, Any]], "tuple"]] = None
 
     def __post_init__(self) -> None:
         if self.kind not in (READ, WRITE, SCAN):
@@ -42,6 +45,8 @@ class Operation:
             raise WorkloadError(f"{self.kind} operation requires a key")
         if self.kind == SCAN and self.predicate is None:
             raise WorkloadError("scan operation requires a predicate")
+        if self.derive is not None and self.kind != WRITE:
+            raise WorkloadError("only write operations can be derived")
 
     # -- constructors -----------------------------------------------------------
     @staticmethod
@@ -53,6 +58,23 @@ class Operation:
     def write(key: str, value: Any) -> "Operation":
         """Write ``value`` to ``key``."""
         return Operation(kind=WRITE, key=key, value=value)
+
+    @staticmethod
+    def derived_write(fn: Callable[[Dict[str, Any]], "tuple"],
+                      key: str = "<derived>") -> "Operation":
+        """A write whose key and value depend on this transaction's reads.
+
+        ``fn`` receives a dict of the values the transaction has observed so
+        far (last read per key) and returns the ``(key, value)`` to write.
+        This is the operation-list encoding of an *interactive* read-modify-
+        write: the written value is a function of what the protocol actually
+        revealed, so a serializable system derives the correct successor
+        value while a weakly consistent one derives it from a stale read —
+        which is exactly how TPC-C's sequential-order-id and exactly-once
+        delivery requirements fail under HAT execution (paper Section 6.2).
+        ``key`` is only a placeholder label until the client resolves it.
+        """
+        return Operation(kind=WRITE, key=key, derive=fn)
 
     @staticmethod
     def scan(predicate: Callable[[str, Any], bool], name: str = "predicate") -> "Operation":
@@ -71,6 +93,10 @@ class Operation:
     def is_scan(self) -> bool:
         return self.kind == SCAN
 
+    @property
+    def is_derived(self) -> bool:
+        return self.derive is not None
+
 
 @dataclass
 class Transaction:
@@ -79,6 +105,9 @@ class Transaction:
     operations: List[Operation]
     txn_id: int = field(default_factory=lambda: next(_TXN_IDS))
     session_id: Optional[int] = None
+    #: Optional workload-level tag (e.g. a TPC-C transaction type); carried
+    #: into recorded histories so auditors can group by program.
+    label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.operations:
@@ -164,3 +193,35 @@ def make_transaction(operations: Sequence[Operation],
                      session_id: Optional[int] = None) -> Transaction:
     """Convenience wrapper used by workloads and tests."""
     return Transaction(operations=list(operations), session_id=session_id)
+
+
+def observed_values(result: TransactionResult) -> Dict[str, Any]:
+    """The last value observed per key by ``result``'s reads so far."""
+    values: Dict[str, Any] = {}
+    for observation in result.reads:
+        values[observation.key] = observation.value
+    return values
+
+
+def resolve_derived(transaction: Transaction, op: Operation,
+                    result: TransactionResult) -> Operation:
+    """Resolve a derived write against the reads observed so far.
+
+    Returns ``op`` unchanged for plain operations.  For a derived write the
+    derive function is evaluated over the transaction's read observations to
+    date and the operation is replaced *in place* inside
+    ``transaction.operations``, so that ``write_set`` (and therefore recorded
+    histories) reflect what was actually written.  Every protocol client
+    calls this at the moment it is about to apply or buffer a write — after
+    the reads that precede it in the operation list have completed under
+    that protocol's visibility rules.
+    """
+    if op.derive is None:
+        return op
+    key, value = op.derive(observed_values(result))
+    resolved = Operation.write(key, value)
+    for index, existing in enumerate(transaction.operations):
+        if existing is op:
+            transaction.operations[index] = resolved
+            break
+    return resolved

@@ -1,14 +1,22 @@
 """Workload generators: YCSB-style key-value workloads and TPC-C.
 
+* :mod:`repro.workloads.base` — the pluggable :class:`Workload` /
+  :class:`WorkloadFactory` interface the benchmark runner drives,
 * :mod:`repro.workloads.distributions` — uniform and zipfian key choosers,
 * :mod:`repro.workloads.ycsb` — the YCSB-like transactional workload the
   paper drives its prototype with (Section 6.3),
 * :mod:`repro.workloads.tpcc` — the TPC-C schema and the five transaction
   programs, used for the Section 6.2 requirements analysis,
 * :mod:`repro.workloads.tpcc_analysis` — the HAT-compliance analysis of each
-  TPC-C transaction and the TPC-C consistency-condition checkers.
+  TPC-C transaction and the TPC-C consistency-condition checkers,
+* :mod:`repro.workloads.tpcc_driver` — TPC-C executed live through the
+  simulated cluster, with derived read-modify-writes and a commit-fed
+  application mirror,
+* :mod:`repro.workloads.tpcc_audit` — the Section 6.2 anomaly auditor over
+  recorded histories (duplicate/gapped order ids, double deliveries).
 """
 
+from repro.workloads.base import Workload, WorkloadFactory, as_workload_factory
 from repro.workloads.distributions import KeyChooser, UniformKeys, ZipfianKeys
 from repro.workloads.ycsb import YCSBConfig, YCSBWorkload
 from repro.workloads.tpcc import TPCCConfig, TPCCWorkload, TPCCState
@@ -17,8 +25,17 @@ from repro.workloads.tpcc_analysis import (
     TransactionProfile,
     hat_compliance_table,
 )
+from repro.workloads.tpcc_driver import (
+    TPCCDriver,
+    TPCCDriverFactory,
+    TPCCMirror,
+)
+from repro.workloads.tpcc_audit import TPCCAnomalyReport, audit_tpcc_history
 
 __all__ = [
+    "Workload",
+    "WorkloadFactory",
+    "as_workload_factory",
     "KeyChooser",
     "UniformKeys",
     "ZipfianKeys",
@@ -30,4 +47,9 @@ __all__ = [
     "TPCC_TRANSACTION_PROFILES",
     "TransactionProfile",
     "hat_compliance_table",
+    "TPCCDriver",
+    "TPCCDriverFactory",
+    "TPCCMirror",
+    "TPCCAnomalyReport",
+    "audit_tpcc_history",
 ]

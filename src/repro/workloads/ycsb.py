@@ -16,12 +16,13 @@ from typing import List, Optional
 
 from repro.errors import WorkloadError
 from repro.hat.transaction import Operation, Transaction
+from repro.workloads.base import Workload
 from repro.workloads.distributions import KeyChooser, UniformKeys, ZipfianKeys
 
 
 @dataclass
 class YCSBConfig:
-    """Workload shape parameters."""
+    """Workload shape parameters (doubles as the runner's workload factory)."""
 
     #: Operations grouped into one transaction (paper default: 8).
     operations_per_transaction: int = 8
@@ -44,8 +45,21 @@ class YCSBConfig:
         if self.distribution not in ("uniform", "zipfian"):
             raise WorkloadError(f"unknown distribution {self.distribution!r}")
 
+    # -- workload-factory shape (see repro.workloads.base) --------------------
+    #: YCSB needs no preload: reads of unwritten keys observe the initial
+    #: bottom version, exactly as in the paper's prototype.  (Unannotated on
+    #: purpose — a class attribute, not a dataclass field.)
+    settle_ms = 0.0
 
-class YCSBWorkload:
+    def build(self, seed: int, session_id: int) -> "YCSBWorkload":
+        """One per-client workload stream (the runner's factory hook)."""
+        return YCSBWorkload(self, seed=seed, session_id=session_id)
+
+    def initial_transactions(self) -> List[Transaction]:
+        return []
+
+
+class YCSBWorkload(Workload):
     """Generates transactions according to a :class:`YCSBConfig`."""
 
     def __init__(self, config: Optional[YCSBConfig] = None,

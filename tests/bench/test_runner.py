@@ -81,6 +81,102 @@ class TestGracePeriod:
         assert stats.committed > 10
 
 
+class MinimalWorkload:
+    """A bare-duck-typed workload: no base class, no observe hook."""
+
+    def __init__(self, session_id):
+        self.session_id = session_id
+
+    def next_transaction(self):
+        from repro.hat.transaction import Operation, Transaction
+
+        return Transaction([Operation.write("shared", "v"),
+                            Operation.read("shared")],
+                           session_id=self.session_id)
+
+
+class MinimalFactory:
+    """The smallest object the runner accepts as a workload factory."""
+
+    def build(self, seed, session_id):
+        return MinimalWorkload(session_id)
+
+
+class TestPluggableWorkloads:
+    """The pluggable-workload path must keep the runner's timing contracts."""
+
+    def test_custom_factory_runs(self):
+        stats = run_workload(quick_config("eventual", workload=MinimalFactory()))
+        assert stats.committed > 10
+
+    def test_tpcc_factory_through_runner(self):
+        from repro.workloads.tpcc_driver import TPCCDriverFactory
+
+        stats = run_workload(quick_config("read-committed",
+                                          workload=TPCCDriverFactory(),
+                                          duration_ms=400.0))
+        assert stats.committed > 10
+
+    def test_non_factory_workload_rejected(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError, match="workload factory"):
+            run_workload(quick_config("eventual", workload=object()))
+
+    def test_grace_floor_unchanged(self):
+        """The MIN_GRACE_PERIOD_MS floor is independent of the workload."""
+        testbed = build_testbed(Scenario(regions=["VA", "OR"],
+                                         servers_per_cluster=1))
+        assert default_grace_period_ms(testbed) == MIN_GRACE_PERIOD_MS
+        assert MIN_GRACE_PERIOD_MS == 2_000.0
+
+    def test_explicit_grace_period_honoured_for_custom_factory(self):
+        """With no preload, the clock still stops exactly at
+        duration + grace on the pluggable path."""
+        config = quick_config("eventual", workload=MinimalFactory(),
+                              grace_period_ms=700.0)
+        testbed = build_testbed(config.scenario)
+        run_workload(config, testbed=testbed)
+        assert testbed.env.now == pytest.approx(config.duration_ms + 700.0)
+
+    def test_preload_shifts_but_preserves_grace_timing(self):
+        from repro.workloads.tpcc_driver import TPCCDriverFactory
+
+        factory = TPCCDriverFactory()
+        config = quick_config("eventual", workload=factory,
+                              duration_ms=300.0, grace_period_ms=500.0)
+        testbed = build_testbed(config.scenario)
+        from repro.workloads.base import run_preload
+
+        # Preload through a twin testbed to learn how long it takes; the
+        # runner must end exactly at preload_end + duration + grace.
+        twin = build_testbed(config.scenario)
+        run_preload(twin, TPCCDriverFactory())
+        preload_end = twin.env.now
+        assert preload_end >= factory.settle_ms
+        run_workload(config, testbed=testbed)
+        assert testbed.env.now == pytest.approx(preload_end + 300.0 + 500.0)
+
+    def test_zero_time_abort_backoff_still_advances_the_clock(self):
+        """A fail-fast protocol under a full partition must not freeze the
+        simulated clock on the pluggable-workload path."""
+        config = quick_config("master", workload=MinimalFactory(),
+                              duration_ms=300.0, grace_period_ms=0.0)
+        testbed = build_testbed(config.scenario)
+        # Split the regions: clients whose key master sits on the far side
+        # fail fast with a zero-time local routing check.
+        testbed.partition_regions([["VA"], ["OR"]])
+        stats = run_workload(config, testbed=testbed)
+        assert testbed.env.now == pytest.approx(300.0)
+        assert stats.committed + stats.aborted > 0
+
+    def test_backoff_config_still_exposed(self):
+        from repro.bench.runner import ZERO_TIME_ABORT_BACKOFF_MS
+
+        config = quick_config("eventual")
+        assert config.abort_backoff_ms == ZERO_TIME_ABORT_BACKOFF_MS
+
+
 class TestTelemetryIntegration:
     def test_windows_exclude_warmup_like_aggregate_stats(self):
         from repro.chaos.telemetry import TimelineTelemetry

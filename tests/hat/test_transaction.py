@@ -9,6 +9,8 @@ from repro.hat.transaction import (
     Transaction,
     TransactionResult,
     make_transaction,
+    observed_values,
+    resolve_derived,
 )
 from repro.storage.records import Timestamp, Version
 
@@ -66,6 +68,52 @@ class TestTransaction:
             Operation.write("x", 2),
         ])
         assert txn.write_set == {"x": 2}
+
+
+class TestDerivedWrites:
+    def _result_with_read(self, key, value):
+        result = TransactionResult(txn_id=1, committed=False, protocol="eventual")
+        result.reads.append(ReadObservation(
+            key=key, version=Version(key, value, Timestamp(1, 1))))
+        return result
+
+    def test_derived_write_constructor(self):
+        op = Operation.derived_write(lambda reads: ("k", 1))
+        assert op.is_write and op.is_derived
+
+    def test_derive_only_allowed_on_writes(self):
+        with pytest.raises(WorkloadError, match="derived"):
+            Operation(kind="read", key="x", derive=lambda reads: ("x", 1))
+
+    def test_resolution_uses_reads_and_mutates_in_place(self):
+        op = Operation.derived_write(
+            lambda reads: ("counter", reads["counter"] + 1), key="counter")
+        txn = make_transaction([Operation.read("counter"), op])
+        result = self._result_with_read("counter", 41)
+        resolved = resolve_derived(txn, op, result)
+        assert resolved.value == 42
+        assert not resolved.is_derived
+        assert txn.operations[1] is resolved
+        assert txn.write_set == {"counter": 42}
+
+    def test_resolution_can_derive_the_key(self):
+        op = Operation.derived_write(
+            lambda reads: (f"order:{reads['next']}", "pending"), key="order:?")
+        txn = make_transaction([Operation.read("next"), op])
+        resolved = resolve_derived(txn, op, self._result_with_read("next", 7))
+        assert resolved.key == "order:7"
+
+    def test_plain_ops_pass_through(self):
+        op = Operation.write("x", 1)
+        txn = make_transaction([op])
+        result = TransactionResult(txn_id=1, committed=False, protocol="eventual")
+        assert resolve_derived(txn, op, result) is op
+
+    def test_observed_values_keeps_last_read(self):
+        result = self._result_with_read("x", "old")
+        result.reads.append(ReadObservation(
+            key="x", version=Version("x", "new", Timestamp(2, 1))))
+        assert observed_values(result) == {"x": "new"}
 
 
 class TestTransactionResult:

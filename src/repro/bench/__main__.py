@@ -48,21 +48,21 @@ from repro.taxonomy.survey import format_table_2
 from repro.workloads.tpcc_analysis import hat_compliance_table
 
 
-def _table1(quick: bool) -> str:
+def _table1(quick: bool, jobs=None) -> str:
     study, _topology, _model = run_ping_study(samples_per_link=200 if quick else 2000)
     matrix = cross_region_mean_table(study)
     return "Table 1c: mean cross-region RTTs (ms)\n" + format_table_1c(matrix)
 
 
-def _table2(quick: bool) -> str:
+def _table2(quick: bool, jobs=None) -> str:
     return "Table 2: default and maximum isolation levels\n" + format_table_2()
 
 
-def _table3(quick: bool) -> str:
+def _table3(quick: bool, jobs=None) -> str:
     return "Table 3: availability classification\n" + availability_summary().as_table()
 
 
-def _fig2(quick: bool) -> str:
+def _fig2(quick: bool, jobs=None) -> str:
     lattice = build_lattice()
     lines = ["Figure 2: model strength lattice (weaker -> stronger)"]
     lines += [f"  {a} -> {b}" for a, b in lattice.edge_list()]
@@ -71,54 +71,59 @@ def _fig2(quick: bool) -> str:
     return "\n".join(lines)
 
 
-def _fig3(quick: bool) -> str:
+def _fig3(quick: bool, jobs=None) -> str:
     points = figure3_geo_replication(
         deployment="B-two-regions",
         client_counts=(2, 6) if quick else (4, 16, 48),
         duration_ms=400.0 if quick else 2000.0,
         servers_per_cluster=2 if quick else 5,
+        jobs=jobs,
     )
     return format_latency_and_throughput(points)
 
 
-def _fig4(quick: bool) -> str:
+def _fig4(quick: bool, jobs=None) -> str:
     points = figure4_transaction_length(
         lengths=(1, 8, 32) if quick else (1, 2, 4, 8, 16, 32, 64, 128),
         duration_ms=400.0 if quick else 1500.0,
+        jobs=jobs,
     )
     return format_series(points, value="throughput_ops_s")
 
 
-def _fig5(quick: bool) -> str:
+def _fig5(quick: bool, jobs=None) -> str:
     points = figure5_write_proportion(
         write_proportions=(0.0, 0.5, 1.0) if quick else (0.0, 0.25, 0.5, 0.75, 1.0),
         duration_ms=400.0 if quick else 1500.0,
+        jobs=jobs,
     )
     return format_series(points, value="throughput_txn_s")
 
 
-def _fig6(quick: bool) -> str:
+def _fig6(quick: bool, jobs=None) -> str:
     points = figure6_scale_out(
         servers_per_cluster_values=(2, 4, 8) if quick else (5, 10, 15, 25),
         duration_ms=400.0 if quick else 1200.0,
+        jobs=jobs,
     )
     return format_series(points, value="throughput_txn_s")
 
 
-def _composite(quick: bool) -> str:
+def _composite(quick: bool, jobs=None) -> str:
     points = composite_guarantee_sweep(
         client_counts=(2,) if quick else (2, 8, 16),
         duration_ms=300.0 if quick else 1500.0,
+        jobs=jobs,
     )
     return ("Composite guarantee stacks (registry specs) on VA+OR\n"
             + format_latency_and_throughput(points))
 
 
-def _tpcc(quick: bool) -> str:
+def _tpcc(quick: bool, jobs=None) -> str:
     return "Section 6.2: TPC-C HAT compliance\n" + hat_compliance_table()
 
 
-def _tpcc_sim(quick: bool):
+def _tpcc_sim(quick: bool, jobs=None):
     """TPC-C executed through the cluster, audited for Section 6.2 anomalies.
 
     Two passes: every protocol on a healthy network, then the HAT/locking
@@ -129,6 +134,7 @@ def _tpcc_sim(quick: bool):
     healthy = tpcc_sim_experiment(
         protocols=TPCC_SIM_PROTOCOLS,
         duration_ms=1_200.0 if quick else 4_000.0,
+        jobs=jobs,
     )
     partitioned = tpcc_sim_experiment(
         protocols=("eventual", "causal", "lock-sr"),
@@ -136,6 +142,7 @@ def _tpcc_sim(quick: bool):
         baseline_ms=800.0 if quick else 2_000.0,
         partition_ms=1_600.0 if quick else 4_000.0,
         recovery_ms=800.0 if quick else 2_000.0,
+        jobs=jobs,
     )
     text = (format_tpcc_sim(healthy)
             + "\n\nUnder the canonical region-partition campaign:\n"
@@ -148,13 +155,26 @@ def _tpcc_sim(quick: bool):
     return text, payload
 
 
-def _availability(quick: bool):
+def _perf(quick: bool, jobs=None):
+    """Wall-clock perf artifact: how fast the simulator itself runs.
+
+    Always sequential — wall-clock numbers are meaningless when cases
+    compete for cores — so ``--jobs`` is deliberately ignored here.
+    """
+    from repro.bench.perf import format_perf, perf_report_json, run_perf_matrix
+
+    results = run_perf_matrix(quick=quick)
+    return format_perf(results), perf_report_json(results)
+
+
+def _availability(quick: bool, jobs=None):
     """Timeline artifact: HAT stacks serving through a region partition."""
     results = availability_experiment(
         protocols=("causal", "master") if quick else AVAILABILITY_PROTOCOLS,
         baseline_ms=1_500.0 if quick else 3_000.0,
         partition_ms=3_000.0 if quick else 6_000.0,
         recovery_ms=1_500.0 if quick else 3_000.0,
+        jobs=jobs,
     )
     return format_availability(results), availability_report_json(results)
 
@@ -172,6 +192,7 @@ ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "tpcc": _tpcc,
     "tpcc-sim": _tpcc_sim,
     "availability": _availability,
+    "perf": _perf,
 }
 
 
@@ -187,10 +208,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use the small/fast parameterisation (default)")
     parser.add_argument("--full", dest="quick", action="store_false",
                         help="use the longer, higher-fidelity sweeps")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="run swept simulations across N worker "
+                             "processes (default: sequential); results are "
+                             "bit-identical to a sequential run")
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write <DIR>/<artifact>.json for artifacts "
                              "with a JSON form (currently: availability, "
-                             "tpcc-sim)")
+                             "tpcc-sim, perf)")
     return parser
 
 
@@ -205,7 +230,7 @@ def main(argv=None) -> int:
                   file=sys.stderr)
             return 2
         print(f"\n===== {name} =====")
-        rendered = ARTIFACTS[name](args.quick)
+        rendered = ARTIFACTS[name](args.quick, args.jobs)
         payload: Optional[dict] = None
         if isinstance(rendered, tuple):
             rendered, payload = rendered

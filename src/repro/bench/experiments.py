@@ -6,15 +6,21 @@ the benchmark scripts print as the figure's data series.  Scale factors keep
 the default sweeps small enough for CI; the shapes (who wins, by what factor,
 where the crossovers are) are what the reproduction targets, not absolute
 numbers, because the substrate is a simulator rather than EC2 hardware.
+
+Every sweep accepts ``jobs``: each swept point is an independent seeded
+simulation, so with ``jobs=N`` the points fan out across a process pool (see
+:mod:`repro.bench.parallel`) and merge in deterministic order — parallel
+results are bit-identical to sequential ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.adya.history import HistoryRecorder
 from repro.bench.metrics import RunStats
+from repro.bench.parallel import run_configs, run_tasks
 from repro.bench.runner import RunConfig, run_workload
 from repro.chaos.campaign import (
     Campaign,
@@ -79,6 +85,15 @@ class ExperimentPoint:
     extras: Dict[str, float] = field(default_factory=dict)
 
 
+def _sweep_points(figure: str, x_label: str,
+                  tasks: List[Tuple[float, RunConfig]],
+                  jobs: Optional[int]) -> List[ExperimentPoint]:
+    """Execute enumerated (x_value, config) tasks and zip them into points."""
+    stats_list = run_configs([config for _x, config in tasks], jobs=jobs)
+    return [_point(figure, x_label, x_value, stats)
+            for (x_value, _config), stats in zip(tasks, stats_list)]
+
+
 def _point(figure: str, x_label: str, x_value: float, stats: RunStats) -> ExperimentPoint:
     return ExperimentPoint(
         figure=figure,
@@ -115,6 +130,7 @@ def figure3_geo_replication(
     duration_ms: float = 1000.0,
     servers_per_cluster: Optional[int] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentPoint]:
     """Figure 3: YCSB latency/throughput versus number of clients.
 
@@ -122,7 +138,7 @@ def figure3_geo_replication(
     B (Virginia + Oregon) or C (five regions).
     """
     base = FIG3_DEPLOYMENTS[deployment]
-    points: List[ExperimentPoint] = []
+    tasks: List[Tuple[float, RunConfig]] = []
     for protocol in protocols:
         for clients in client_counts:
             scenario = Scenario(
@@ -139,10 +155,8 @@ def figure3_geo_replication(
                 duration_ms=duration_ms,
                 seed=seed,
             )
-            stats = run_workload(config)
-            points.append(_point(f"fig3{deployment}", "clients",
-                                 config.total_clients, stats))
-    return points
+            tasks.append((config.total_clients, config))
+    return _sweep_points(f"fig3{deployment}", "clients", tasks, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -155,6 +169,7 @@ def composite_guarantee_sweep(
     duration_ms: float = 800.0,
     servers_per_cluster: int = 2,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentPoint]:
     """Latency/throughput of stacked protocols on the two-region deployment.
 
@@ -163,7 +178,7 @@ def composite_guarantee_sweep(
     specs (``causal``, ``mav+causal``) beside their single-guarantee bases
     under the Figure 3B methodology.
     """
-    points: List[ExperimentPoint] = []
+    tasks: List[Tuple[float, RunConfig]] = []
     for protocol in protocols:
         for clients in client_counts:
             scenario = Scenario(regions=["VA", "OR"],
@@ -176,10 +191,8 @@ def composite_guarantee_sweep(
                 duration_ms=duration_ms,
                 seed=seed,
             )
-            stats = run_workload(config)
-            points.append(_point("composite", "clients",
-                                 config.total_clients, stats))
-    return points
+            tasks.append((config.total_clients, config))
+    return _sweep_points("composite", "clients", tasks, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -192,9 +205,10 @@ def figure4_transaction_length(
     clients_per_cluster: int = 4,
     duration_ms: float = 800.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentPoint]:
     """Figure 4: throughput versus operations per transaction (VA + OR)."""
-    points: List[ExperimentPoint] = []
+    tasks: List[Tuple[float, RunConfig]] = []
     for protocol in protocols:
         for length in lengths:
             scenario = Scenario(regions=["VA", "OR"], servers_per_cluster=5, seed=seed)
@@ -206,9 +220,8 @@ def figure4_transaction_length(
                 duration_ms=duration_ms,
                 seed=seed,
             )
-            stats = run_workload(config)
-            points.append(_point("fig4", "transaction length", length, stats))
-    return points
+            tasks.append((length, config))
+    return _sweep_points("fig4", "transaction length", tasks, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -222,6 +235,7 @@ def figure5_write_proportion(
     duration_ms: float = 800.0,
     servers_per_cluster: int = 2,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentPoint]:
     """Figure 5: throughput versus the fraction of write operations (VA + OR).
 
@@ -231,7 +245,7 @@ def figure5_write_proportion(
     which only governs throughput once servers — not client round trips —
     are the bottleneck.
     """
-    points: List[ExperimentPoint] = []
+    tasks: List[Tuple[float, RunConfig]] = []
     for protocol in protocols:
         for write_proportion in write_proportions:
             scenario = Scenario(regions=["VA", "OR"],
@@ -244,9 +258,8 @@ def figure5_write_proportion(
                 duration_ms=duration_ms,
                 seed=seed,
             )
-            stats = run_workload(config)
-            points.append(_point("fig5", "write proportion", write_proportion, stats))
-    return points
+            tasks.append((write_proportion, config))
+    return _sweep_points("fig5", "write proportion", tasks, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -259,6 +272,7 @@ def figure6_scale_out(
     clients_per_server: int = 3,
     duration_ms: float = 800.0,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[ExperimentPoint]:
     """Figure 6: throughput versus total servers, two clusters (VA + OR).
 
@@ -266,7 +280,7 @@ def figure6_scale_out(
     the sweep completes quickly, but the client count still scales with the
     number of servers so linear scale-out is observable.
     """
-    points: List[ExperimentPoint] = []
+    tasks: List[Tuple[float, RunConfig]] = []
     for protocol in protocols:
         for servers in servers_per_cluster_values:
             scenario = Scenario(regions=["VA", "OR"], servers_per_cluster=servers,
@@ -279,9 +293,8 @@ def figure6_scale_out(
                 duration_ms=duration_ms,
                 seed=seed,
             )
-            stats = run_workload(config)
-            points.append(_point("fig6", "total servers", servers * 2, stats))
-    return points
+            tasks.append((servers * 2, config))
+    return _sweep_points("fig6", "total servers", tasks, jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -316,6 +329,52 @@ class AvailabilityTimeline:
         return min(scores) if scores else None
 
 
+def _availability_protocol_run(
+    protocol: str,
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    clients_per_cluster: int,
+    baseline_ms: float,
+    partition_ms: float,
+    recovery_ms: float,
+    window_ms: float,
+    slo: Optional[AvailabilitySLO],
+    workload: Optional[YCSBConfig],
+    seed: int,
+    recorder: Optional[object] = None,
+) -> AvailabilityTimeline:
+    """One protocol's full availability run (the parallel-sweep worker)."""
+    scenario = Scenario(regions=list(regions),
+                        servers_per_cluster=servers_per_cluster, seed=seed)
+    testbed = build_testbed(scenario)
+    campaign = canonical_partition_campaign(
+        list(regions), baseline_ms=baseline_ms,
+        partition_ms=partition_ms, recovery_ms=recovery_ms)
+    nemesis = Nemesis(testbed, campaign)
+    nemesis.install()
+    telemetry = TimelineTelemetry(window_ms=window_ms, slo=slo)
+    config = RunConfig(
+        protocol=protocol,
+        scenario=scenario,
+        workload=workload or YCSBConfig(key_count=10_000),
+        clients_per_cluster=clients_per_cluster,
+        duration_ms=campaign.duration_ms,
+        warmup_ms=0.0,
+        seed=seed,
+    )
+    stats = run_workload(config, testbed=testbed, recorder=recorder,
+                         telemetry=telemetry)
+    return AvailabilityTimeline(
+        protocol=protocol,
+        campaign=campaign,
+        window_ms=window_ms,
+        slo=telemetry.slo,
+        groups=telemetry.build(),
+        stats=stats,
+        narration=list(nemesis.log),
+    )
+
+
 def availability_experiment(
     protocols: Sequence[str] = AVAILABILITY_PROTOCOLS,
     regions: Sequence[str] = ("VA", "OR"),
@@ -329,6 +388,7 @@ def availability_experiment(
     workload: Optional[YCSBConfig] = None,
     seed: int = 0,
     recorder: Optional[object] = None,
+    jobs: Optional[int] = None,
 ) -> List[AvailabilityTimeline]:
     """Sweep protocol specs across the canonical region-partition campaign.
 
@@ -344,38 +404,16 @@ def availability_experiment(
         # Runs restart session ids from zero, so one recorder would merge
         # independent histories into colliding Adya sessions.
         raise ReproError("pass a recorder only when sweeping a single protocol")
-    results: List[AvailabilityTimeline] = []
-    for protocol in protocols:
-        scenario = Scenario(regions=list(regions),
-                            servers_per_cluster=servers_per_cluster, seed=seed)
-        testbed = build_testbed(scenario)
-        campaign = canonical_partition_campaign(
-            list(regions), baseline_ms=baseline_ms,
-            partition_ms=partition_ms, recovery_ms=recovery_ms)
-        nemesis = Nemesis(testbed, campaign)
-        nemesis.install()
-        telemetry = TimelineTelemetry(window_ms=window_ms, slo=slo)
-        config = RunConfig(
-            protocol=protocol,
-            scenario=scenario,
-            workload=workload or YCSBConfig(key_count=10_000),
-            clients_per_cluster=clients_per_cluster,
-            duration_ms=campaign.duration_ms,
-            warmup_ms=0.0,
-            seed=seed,
-        )
-        stats = run_workload(config, testbed=testbed, recorder=recorder,
-                             telemetry=telemetry)
-        results.append(AvailabilityTimeline(
-            protocol=protocol,
-            campaign=campaign,
-            window_ms=window_ms,
-            slo=telemetry.slo,
-            groups=telemetry.build(),
-            stats=stats,
-            narration=list(nemesis.log),
-        ))
-    return results
+    if recorder is not None:
+        # A recorder accumulates in-process state, which worker processes
+        # could not hand back; the single-protocol case it is limited to
+        # runs sequentially regardless of ``jobs``.
+        jobs = None
+    tasks = [(protocol, regions, servers_per_cluster, clients_per_cluster,
+              baseline_ms, partition_ms, recovery_ms, window_ms, slo,
+              workload, seed, recorder)
+             for protocol in protocols]
+    return run_tasks(_availability_protocol_run, tasks, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------
@@ -407,6 +445,81 @@ class TPCCSimResult:
 default_tpcc_config = contended_tpcc_config
 
 
+def _tpcc_protocol_run(
+    protocol: str,
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    clients_per_cluster: int,
+    duration_ms: float,
+    tpcc: Optional[TPCCConfig],
+    partition: bool,
+    baseline_ms: float,
+    partition_ms: float,
+    recovery_ms: float,
+    window_ms: float,
+    slo: Optional[AvailabilitySLO],
+    seed: int,
+) -> TPCCSimResult:
+    """One protocol's full TPC-C simulation (the parallel-sweep worker)."""
+    scenario = Scenario(regions=list(regions),
+                        servers_per_cluster=servers_per_cluster, seed=seed)
+    testbed = build_testbed(scenario)
+    recorder = HistoryRecorder()
+    factory = TPCCDriverFactory(config=tpcc or default_tpcc_config())
+    # Preload first: the campaign (if any) installs afterwards, so its
+    # fault timeline is relative to the measured run, not the load.
+    run_preload(testbed, factory)
+    run_start_ms = testbed.env.now
+    campaign = None
+    telemetry = None
+    nemesis = None
+    run_duration = duration_ms
+    if partition:
+        campaign = canonical_partition_campaign(
+            list(regions), baseline_ms=baseline_ms,
+            partition_ms=partition_ms, recovery_ms=recovery_ms)
+        nemesis = Nemesis(testbed, campaign)
+        nemesis.install()
+        telemetry = TimelineTelemetry(window_ms=window_ms, slo=slo)
+        run_duration = campaign.duration_ms
+    config = RunConfig(
+        protocol=protocol,
+        scenario=scenario,
+        workload=factory,
+        clients_per_cluster=clients_per_cluster,
+        duration_ms=run_duration,
+        warmup_ms=0.0,
+        seed=seed,
+    )
+    stats = run_workload(config, testbed=testbed, recorder=recorder,
+                         telemetry=telemetry, preload=False)
+    report = audit_tpcc_history(recorder.build())
+    phase_availability: Dict[str, Optional[float]] = {}
+    if campaign is not None and telemetry is not None:
+        # Telemetry windows carry absolute simulated times; shift the
+        # campaign phases by the preloaded run's start before scoring.
+        shifted = [CampaignPhase(name=p.name,
+                                 start_ms=p.start_ms + run_start_ms,
+                                 end_ms=p.end_ms + run_start_ms)
+                   for p in campaign.phases]
+        groups = telemetry.build()
+        for phase in shifted:
+            scores = [availability_score(t.phase_windows(phase),
+                                         telemetry.slo)
+                      for t in groups.values()]
+            scores = [s for s in scores if s is not None]
+            phase_availability[phase.name] = min(scores) if scores else None
+    return TPCCSimResult(
+        protocol=protocol,
+        stats=stats,
+        anomalies=report,
+        committed_by_type=dict(factory.mirror.committed_by_type),
+        campaign=campaign,
+        phase_availability=phase_availability,
+        narration=list(nemesis.log) if nemesis is not None else [],
+    )
+
+
 def tpcc_sim_experiment(
     protocols: Sequence[str] = TPCC_SIM_PROTOCOLS,
     regions: Sequence[str] = ("VA", "OR"),
@@ -421,6 +534,7 @@ def tpcc_sim_experiment(
     window_ms: float = 500.0,
     slo: Optional[AvailabilitySLO] = None,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> List[TPCCSimResult]:
     """Run the TPC-C mix through every protocol and audit the histories.
 
@@ -432,65 +546,11 @@ def tpcc_sim_experiment(
     timeline telemetry, measuring what a partition does to *both*
     availability and anomaly rates: the HAT stacks keep serving (and keep
     colliding on order ids), the coordinated baselines go dark but stay
-    clean.
+    clean.  With ``jobs=N`` the protocols fan out across worker processes
+    (each already builds its own testbed, factory, and recorder).
     """
-    results: List[TPCCSimResult] = []
-    for protocol in protocols:
-        scenario = Scenario(regions=list(regions),
-                            servers_per_cluster=servers_per_cluster, seed=seed)
-        testbed = build_testbed(scenario)
-        recorder = HistoryRecorder()
-        factory = TPCCDriverFactory(config=tpcc or default_tpcc_config())
-        # Preload first: the campaign (if any) installs afterwards, so its
-        # fault timeline is relative to the measured run, not the load.
-        run_preload(testbed, factory)
-        run_start_ms = testbed.env.now
-        campaign = None
-        telemetry = None
-        nemesis = None
-        run_duration = duration_ms
-        if partition:
-            campaign = canonical_partition_campaign(
-                list(regions), baseline_ms=baseline_ms,
-                partition_ms=partition_ms, recovery_ms=recovery_ms)
-            nemesis = Nemesis(testbed, campaign)
-            nemesis.install()
-            telemetry = TimelineTelemetry(window_ms=window_ms, slo=slo)
-            run_duration = campaign.duration_ms
-        config = RunConfig(
-            protocol=protocol,
-            scenario=scenario,
-            workload=factory,
-            clients_per_cluster=clients_per_cluster,
-            duration_ms=run_duration,
-            warmup_ms=0.0,
-            seed=seed,
-        )
-        stats = run_workload(config, testbed=testbed, recorder=recorder,
-                             telemetry=telemetry, preload=False)
-        report = audit_tpcc_history(recorder.build())
-        phase_availability: Dict[str, Optional[float]] = {}
-        if campaign is not None and telemetry is not None:
-            # Telemetry windows carry absolute simulated times; shift the
-            # campaign phases by the preloaded run's start before scoring.
-            shifted = [CampaignPhase(name=p.name,
-                                     start_ms=p.start_ms + run_start_ms,
-                                     end_ms=p.end_ms + run_start_ms)
-                       for p in campaign.phases]
-            groups = telemetry.build()
-            for phase in shifted:
-                scores = [availability_score(t.phase_windows(phase),
-                                             telemetry.slo)
-                          for t in groups.values()]
-                scores = [s for s in scores if s is not None]
-                phase_availability[phase.name] = min(scores) if scores else None
-        results.append(TPCCSimResult(
-            protocol=protocol,
-            stats=stats,
-            anomalies=report,
-            committed_by_type=dict(factory.mirror.committed_by_type),
-            campaign=campaign,
-            phase_availability=phase_availability,
-            narration=list(nemesis.log) if nemesis is not None else [],
-        ))
-    return results
+    tasks = [(protocol, regions, servers_per_cluster, clients_per_cluster,
+              duration_ms, tpcc, partition, baseline_ms, partition_ms,
+              recovery_ms, window_ms, slo, seed)
+             for protocol in protocols]
+    return run_tasks(_tpcc_protocol_run, tasks, jobs=jobs)

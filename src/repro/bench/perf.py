@@ -1,0 +1,203 @@
+"""Wall-clock performance harness: how fast does the simulator itself run?
+
+Every other artifact reports *simulated* metrics (committed txn/s of
+simulated time).  This one measures the metric the ROADMAP's "as fast as the
+hardware allows" goal actually needs: how much simulation the machine
+executes per wall-clock second.  A canonical matrix of scenarios — one per
+protocol family the figures sweep, plus a geo-scale and a TPC-C case — runs
+sequentially (wall-clock numbers mean nothing when cases compete for cores)
+and reports, per case and in aggregate:
+
+* ``wall_s`` — wall-clock seconds for the run (testbed build + preload +
+  measured interval + grace),
+* ``sim_ms_per_wall_s`` — simulated milliseconds advanced per wall second,
+* ``events_per_s`` — kernel callbacks executed per wall second (the
+  simulator's IPS; regressions here mean the hot paths got slower),
+* ``committed_per_wall_s`` — committed transactions per wall second.
+
+``python -m repro.bench perf [--quick|--full] [--json DIR]`` renders the
+table and (with ``--json``) writes ``perf.json`` — the repo's perf
+trajectory, one entry per PR.
+"""
+
+from __future__ import annotations
+
+import platform
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bench.runner import RunConfig, run_workload
+from repro.hat.testbed import Scenario, build_testbed
+from repro.workloads.tpcc_driver import TPCCDriverFactory
+from repro.workloads.ycsb import YCSBConfig
+
+
+@dataclass(slots=True)
+class PerfCase:
+    """One canonical scenario of the perf matrix."""
+
+    name: str
+    #: Builds a fresh RunConfig (fresh testbed state per measurement).
+    make_config: Callable[[float], RunConfig]
+    duration_ms: float
+
+
+@dataclass(slots=True)
+class PerfResult:
+    """Measured speed of one case."""
+
+    name: str
+    wall_s: float
+    sim_ms: float
+    events: int
+    committed: int
+    aborted: int
+
+    @property
+    def sim_ms_per_wall_s(self) -> float:
+        return self.sim_ms / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def committed_per_wall_s(self) -> float:
+        return self.committed / self.wall_s if self.wall_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "sim_ms": self.sim_ms,
+            "events": self.events,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "sim_ms_per_wall_s": self.sim_ms_per_wall_s,
+            "events_per_s": self.events_per_s,
+            "committed_per_wall_s": self.committed_per_wall_s,
+        }
+
+
+def _ycsb_case(name: str, protocol: str, duration_ms: float,
+               regions=("VA", "OR"), servers_per_cluster: int = 2,
+               clients_per_cluster: int = 4,
+               write_proportion: float = 0.5) -> PerfCase:
+    def make(scale: float) -> RunConfig:
+        return RunConfig(
+            protocol=protocol,
+            scenario=Scenario(regions=list(regions),
+                              servers_per_cluster=servers_per_cluster),
+            workload=YCSBConfig(write_proportion=write_proportion),
+            clients_per_cluster=clients_per_cluster,
+            duration_ms=duration_ms * scale,
+            seed=0,
+        )
+    return PerfCase(name=name, make_config=make, duration_ms=duration_ms)
+
+
+def _tpcc_case(duration_ms: float) -> PerfCase:
+    def make(scale: float) -> RunConfig:
+        return RunConfig(
+            protocol="read-committed",
+            scenario=Scenario(regions=["VA", "OR"], servers_per_cluster=2),
+            workload=TPCCDriverFactory(),
+            clients_per_cluster=2,
+            duration_ms=duration_ms * scale,
+            warmup_ms=0.0,
+            seed=0,
+        )
+    return PerfCase(name="tpcc-rc-2x2", make_config=make,
+                    duration_ms=duration_ms)
+
+
+def canonical_perf_matrix() -> List[PerfCase]:
+    """The fixed scenario matrix the perf trajectory is measured on.
+
+    One case per protocol family of the figure sweeps (the kernel paths
+    they stress differ: eventual is pure RPC round trips, RC adds commit
+    batches, MAV adds the notify/promote storm, master adds asynchronous
+    replication fan-out), a five-region geo case (latency-model and
+    topology pressure), and TPC-C (derived writes + application mirror).
+    """
+    return [
+        _ycsb_case("ycsb-eventual-2x2", "eventual", 600.0),
+        _ycsb_case("ycsb-rc-2x2", "read-committed", 600.0),
+        _ycsb_case("ycsb-mav-2x2", "mav", 600.0),
+        _ycsb_case("ycsb-master-2x2", "master", 600.0),
+        _ycsb_case("ycsb-eventual-geo5", "eventual", 600.0,
+                   regions=("VA", "CA", "OR", "IR", "SI"),
+                   servers_per_cluster=2, clients_per_cluster=2),
+        _tpcc_case(800.0),
+    ]
+
+
+def run_perf_case(case: PerfCase, scale: float = 1.0) -> PerfResult:
+    """Build the testbed, run the case, and measure it end to end."""
+    config = case.make_config(scale)
+    start = time.perf_counter()
+    testbed = build_testbed(config.scenario)
+    stats = run_workload(config, testbed=testbed)
+    wall_s = time.perf_counter() - start
+    return PerfResult(
+        name=case.name,
+        wall_s=wall_s,
+        sim_ms=testbed.env.now,
+        events=testbed.env.events_executed,
+        committed=stats.committed,
+        aborted=stats.aborted,
+    )
+
+
+def run_perf_matrix(quick: bool = True,
+                    cases: Optional[List[PerfCase]] = None) -> List[PerfResult]:
+    """Run the matrix sequentially (never in parallel: wall-clock purity)."""
+    scale = 1.0 if quick else 4.0
+    return [run_perf_case(case, scale=scale)
+            for case in (cases or canonical_perf_matrix())]
+
+
+def format_perf(results: List[PerfResult]) -> str:
+    """Render the perf table plus aggregate totals."""
+    header = (f"{'case':<20} {'wall s':>8} {'sim ms':>10} {'events':>10} "
+              f"{'events/s':>11} {'sim ms/s':>10} {'txn/s':>9}")
+    lines = [
+        "Simulator wall-clock performance (sequential canonical matrix)",
+        f"python {platform.python_version()} on {platform.machine()}",
+        header,
+        "-" * len(header),
+    ]
+    for result in results:
+        lines.append(
+            f"{result.name:<20} {result.wall_s:>8.2f} {result.sim_ms:>10.0f} "
+            f"{result.events:>10} {result.events_per_s:>11.0f} "
+            f"{result.sim_ms_per_wall_s:>10.0f} "
+            f"{result.committed_per_wall_s:>9.0f}"
+        )
+    total_wall = sum(r.wall_s for r in results)
+    total_events = sum(r.events for r in results)
+    total_committed = sum(r.committed for r in results)
+    lines.append("-" * len(header))
+    lines.append(
+        f"{'TOTAL':<20} {total_wall:>8.2f} {'':>10} {total_events:>10} "
+        f"{(total_events / total_wall if total_wall else 0.0):>11.0f} "
+        f"{'':>10} {(total_committed / total_wall if total_wall else 0.0):>9.0f}"
+    )
+    return "\n".join(lines)
+
+
+def perf_report_json(results: List[PerfResult]) -> Dict:
+    """The JSON artifact: per-case metrics plus aggregate throughput."""
+    total_wall = sum(r.wall_s for r in results)
+    total_events = sum(r.events for r in results)
+    return {
+        "figure": "perf",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cases": [r.as_dict() for r in results],
+        "total_wall_s": total_wall,
+        "total_events": total_events,
+        "total_events_per_s": (total_events / total_wall
+                               if total_wall else 0.0),
+    }

@@ -117,8 +117,9 @@ class ClientNode:
     def rpc(self, dst: str, kind: str, payload: dict,
             timeout_ms: Optional[float] = None) -> Future:
         """Issue an RPC from this client to ``dst``."""
-        kwargs = {}
-        if timeout_ms is not None:
-            kwargs["timeout_ms"] = timeout_ms
-        size = payload.get("size_bytes", 0) if isinstance(payload, dict) else 0
-        return self.network.rpc(self.name, dst, kind, payload, size_bytes=size, **kwargs)
+        size = payload.get("size_bytes", 0) if type(payload) is dict else 0
+        if timeout_ms is None:
+            return self.network.rpc(self.name, dst, kind, payload,
+                                    size_bytes=size)
+        return self.network.rpc(self.name, dst, kind, payload,
+                                timeout_ms=timeout_ms, size_bytes=size)

@@ -33,10 +33,15 @@ class Cluster:
         if not self.servers:
             raise ReproError(f"cluster {self.name!r} has no servers")
         self.partitioner = HashPartitioner(self.servers)
+        self._owner_cache: Dict[str, str] = {}
 
     def owner_for(self, key: str) -> str:
         """The server in this cluster that owns ``key``'s partition."""
-        return self.partitioner.owner_for(key)
+        owner = self._owner_cache.get(key)
+        if owner is None:
+            owner = self.partitioner.owner_for(key)
+            self._owner_cache[key] = owner
+        return owner
 
 
 class ClusterConfig:
@@ -51,6 +56,12 @@ class ClusterConfig:
         self.clusters: List[Cluster] = list(clusters)
         self._by_name: Dict[str, Cluster] = {c.name: c for c in clusters}
         self._server_to_cluster: Dict[str, str] = {}
+        # Placement is immutable after construction, so every query below is
+        # memoized per key.  Cached lists are shared — callers must not
+        # mutate them (they only iterate and membership-test today).
+        self._replicas_cache: Dict[str, List[str]] = {}
+        self._master_cache: Dict[str, str] = {}
+        self._peers_cache: Dict[tuple, List[str]] = {}
         for cluster in clusters:
             for server in cluster.servers:
                 if server in self._server_to_cluster:
@@ -81,7 +92,11 @@ class ClusterConfig:
     # -- placement -----------------------------------------------------------------
     def replicas_for(self, key: str) -> List[str]:
         """One replica per cluster: the key's partition owner in each."""
-        return [cluster.owner_for(key) for cluster in self.clusters]
+        cached = self._replicas_cache.get(key)
+        if cached is None:
+            cached = [cluster.owner_for(key) for cluster in self.clusters]
+            self._replicas_cache[key] = cached
+        return cached
 
     def local_replica_for(self, key: str, cluster_name: str) -> str:
         """The replica of ``key`` inside ``cluster_name``."""
@@ -93,13 +108,21 @@ class ClusterConfig:
         The master is one of the key's replicas, selected deterministically
         from the key hash so that all clients agree without coordination.
         """
-        replicas = self.replicas_for(key)
-        index = HashPartitioner.key_hash(key) % len(replicas)
-        return replicas[index]
+        cached = self._master_cache.get(key)
+        if cached is None:
+            replicas = self.replicas_for(key)
+            cached = replicas[HashPartitioner.key_hash(key) % len(replicas)]
+            self._master_cache[key] = cached
+        return cached
 
     def peer_replicas(self, key: str, server: str) -> List[str]:
         """The other replicas of ``key``, excluding ``server`` itself."""
-        return [r for r in self.replicas_for(key) if r != server]
+        token = (key, server)
+        cached = self._peers_cache.get(token)
+        if cached is None:
+            cached = [r for r in self.replicas_for(key) if r != server]
+            self._peers_cache[token] = cached
+        return cached
 
     def replication_factor(self) -> int:
         """Number of copies of each key (== number of clusters)."""

@@ -3,9 +3,23 @@
 from __future__ import annotations
 
 import hashlib
+from functools import lru_cache
 from typing import List, Sequence
 
 from repro.errors import ReproError
+
+
+@lru_cache(maxsize=1 << 20)
+def _stable_key_hash(key: str) -> int:
+    """SHA-1-derived 64-bit hash, memoized.
+
+    Workload key spaces are small (YCSB defaults to thousands of keys; TPC-C
+    to a few hundred rows at simulation scale) but every request re-routes
+    the same keys, so hashing was one of the hottest functions in the figure
+    sweeps.  The cache is process-wide and bounded.
+    """
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 class HashPartitioner:
@@ -29,16 +43,15 @@ class HashPartitioner:
     @staticmethod
     def key_hash(key: str) -> int:
         """A stable 64-bit hash of ``key``."""
-        digest = hashlib.sha1(key.encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "big")
+        return _stable_key_hash(key)
 
     def partition_index(self, key: str) -> int:
         """The partition slot that owns ``key``."""
-        return self.key_hash(key) % len(self._owners)
+        return _stable_key_hash(key) % len(self._owners)
 
     def owner_for(self, key: str) -> str:
         """The owner responsible for ``key``."""
-        return self._owners[self.partition_index(key)]
+        return self._owners[_stable_key_hash(key) % len(self._owners)]
 
     def keys_per_owner(self, keys: Sequence[str]) -> dict:
         """Histogram of how many of ``keys`` land on each owner."""

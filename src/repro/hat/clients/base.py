@@ -167,7 +167,7 @@ class ProtocolClient:
         return result.reads
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadRequest:
     """One replica read about to be issued; layers may rewrite it."""
 
@@ -175,7 +175,7 @@ class ReadRequest:
     payload: Dict[str, Any]
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnContext:
     """Per-transaction scratch state shared by the driver and its layers.
 

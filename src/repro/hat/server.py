@@ -47,8 +47,10 @@ class HATServer(ServerNode):
         lsm_cost: Optional[LSMCostModel] = None,
         anti_entropy: Optional[AntiEntropyConfig] = None,
         durable: bool = True,
+        keep_versions: Optional[int] = None,
     ):
-        super().__init__(env, network, name, cost_model=cost_model, lsm_cost=lsm_cost)
+        super().__init__(env, network, name, cost_model=cost_model,
+                         lsm_cost=lsm_cost, keep_versions=keep_versions)
         self.config = config
         self.durable = durable
         self.mav = MAVState(replication_factor=config.replication_factor())
@@ -139,10 +141,14 @@ class HATServer(ServerNode):
             "key": version.key,
             "expected": expected,
         }
-        for sibling in siblings:
+        # Sorted so notification order never depends on the interpreter's
+        # randomized string hashing: seeded runs must be bit-identical across
+        # processes (the parallel sweep executor relies on it).  The payload
+        # is shared across the fan-out: mav.notify handlers only read it.
+        for sibling in sorted(siblings):
             for replica in self.config.replicas_for(sibling):
                 self.mav.stats.notifies_sent += 1
-                self.network.send(self.name, replica, "mav.notify", dict(payload))
+                self.network.send(self.name, replica, "mav.notify", payload)
 
     def _handle_mav_notify(self, message: Message) -> Tuple[None, float]:
         payload = message.payload

@@ -46,6 +46,12 @@ class Scenario:
     seed: int = 0
     durable: bool = True
     anti_entropy_interval_ms: float = 10.0
+    #: Versions retained per key on every server (None = unbounded).  The
+    #: default bounds replica memory in long chaos runs — servers used to
+    #: keep every version forever — while staying deep enough that
+    #: timestamp-bounded reads (cut isolation, MAV required bounds) always
+    #: find what they need at benchmark write rates.
+    keep_versions: Optional[int] = 64
     service_cost: ServiceCostModel = field(default_factory=ServiceCostModel)
     lsm_cost: LSMCostModel = field(default_factory=LSMCostModel)
     #: Use a constant-latency network instead of the EC2 model (unit tests).
@@ -209,6 +215,7 @@ def build_testbed(scenario: Scenario) -> Testbed:
                 lsm_cost=scenario.lsm_cost,
                 anti_entropy=ae_config,
                 durable=scenario.durable,
+                keep_versions=scenario.keep_versions,
             )
             server.anti_entropy.start()
             servers[server_name] = server

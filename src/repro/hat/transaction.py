@@ -20,10 +20,12 @@ READ = "read"
 WRITE = "write"
 SCAN = "scan"
 
+_OPERATION_KINDS = frozenset((READ, WRITE, SCAN))
+
 _TXN_IDS = itertools.count(1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operation:
     """One read, write, or predicate read within a transaction."""
 
@@ -39,7 +41,7 @@ class Operation:
     derive: Optional[Callable[[Dict[str, Any]], "tuple"]] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in (READ, WRITE, SCAN):
+        if self.kind not in _OPERATION_KINDS:
             raise WorkloadError(f"unknown operation kind {self.kind!r}")
         if self.kind in (READ, WRITE) and not self.key:
             raise WorkloadError(f"{self.kind} operation requires a key")
@@ -98,7 +100,7 @@ class Operation:
         return self.derive is not None
 
 
-@dataclass
+@dataclass(slots=True)
 class Transaction:
     """A client-submitted group of operations."""
 
@@ -108,6 +110,9 @@ class Transaction:
     #: Optional workload-level tag (e.g. a TPC-C transaction type); carried
     #: into recorded histories so auditors can group by program.
     label: Optional[str] = None
+    #: Legacy TPC-C annotation (the generators also set ``label``); an
+    #: explicit field because ``slots=True`` forbids ad-hoc attributes.
+    tpcc_type: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.operations:
@@ -139,7 +144,7 @@ class Transaction:
         return list(seen)
 
 
-@dataclass
+@dataclass(slots=True)
 class ReadObservation:
     """One value observed by a committed read."""
 
@@ -155,7 +160,7 @@ class ReadObservation:
         return self.version.txn_id
 
 
-@dataclass
+@dataclass(slots=True)
 class TransactionResult:
     """Outcome of executing a transaction through a protocol client."""
 

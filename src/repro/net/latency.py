@@ -14,9 +14,10 @@ multiplier, which reproduces the long right tail visible in Figure 1.
 
 from __future__ import annotations
 
-import math
 import random
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.errors import NetworkError
 from repro.net.topology import (
@@ -67,6 +68,10 @@ TABLE_1B_MEAN_RTT_MS = 2.59  # mean of {1.08, 3.12, 3.57}
 #: Lognormal sigma calibrated so that p95/mean is roughly 1.8, matching the
 #: Sao Paulo - Singapore link (649 ms p95 vs 362.8 ms mean).
 DEFAULT_SIGMA = 0.35
+
+#: Latency multipliers are pre-sampled in blocks of this size (see
+#: :meth:`EC2LatencyModel._next_multiplier`).
+MULTIPLIER_BLOCK = 4096
 
 
 def cross_region_rtt(region_a: str, region_b: str) -> float:
@@ -135,9 +140,26 @@ class EC2LatencyModel(LatencyModel):
         # Pre-compute the lognormal location parameter so that the mean of the
         # multiplier is exactly 1: mean(lognormal(mu, sigma)) = exp(mu+sigma^2/2).
         self._mu = -0.5 * sigma * sigma
+        # Site placements are immutable once registered (sites are only ever
+        # added), so the scope lookup — and with it the mean RTT — can be
+        # memoized per ordered pair.  This was a top-five hot path in the
+        # figure sweeps: every message sampled it afresh.
+        self._mean_rtt_cache: Dict[Tuple[str, str], float] = {}
+        # Pre-sampled lognormal multiplier blocks, keyed by the id of the
+        # caller's random stream (the stream object itself is stored so an
+        # id cannot be silently recycled).
+        self._multiplier_blocks: Dict[int, list] = {}
 
     # -- means --------------------------------------------------------------
     def mean_rtt(self, src: str, dst: str) -> float:
+        cached = self._mean_rtt_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        mean = self._mean_rtt_uncached(src, dst)
+        self._mean_rtt_cache[(src, dst)] = mean
+        return mean
+
+    def _mean_rtt_uncached(self, src: str, dst: str) -> float:
         scope = self.topology.scope(src, dst)
         if scope == SCOPE_SAME_HOST:
             return self.same_host_rtt_ms
@@ -155,10 +177,32 @@ class EC2LatencyModel(LatencyModel):
         raise NetworkError(f"unknown scope {scope!r}")
 
     # -- samples ------------------------------------------------------------
+    def _next_multiplier(self, rng: random.Random) -> float:
+        """One lognormal multiplier from the block sampler.
+
+        Multipliers are drawn 4096 at a time with numpy, seeded from the
+        caller's stream (one ``getrandbits`` per block), instead of paying
+        pure-Python ``gauss`` + ``exp`` per message — the same mean-one
+        lognormal distribution, deterministic per seed, at a fraction of
+        the per-sample cost.
+        """
+        entry = self._multiplier_blocks.get(id(rng))
+        if entry is None or entry[0] is not rng:
+            entry = [rng, [], 0]
+            self._multiplier_blocks[id(rng)] = entry
+        index = entry[2]
+        block: List[float] = entry[1]
+        if index >= len(block):
+            generator = np.random.Generator(np.random.PCG64(rng.getrandbits(64)))
+            block = generator.lognormal(self._mu, self.sigma,
+                                        MULTIPLIER_BLOCK).tolist()
+            entry[1] = block
+            index = 0
+        entry[2] = index + 1
+        return block[index]
+
     def one_way(self, rng: random.Random, src: str, dst: str) -> float:
-        mean_one_way = self.mean_rtt(src, dst) / 2.0
-        multiplier = math.exp(rng.gauss(self._mu, self.sigma))
-        return mean_one_way * multiplier
+        return self.mean_rtt(src, dst) * 0.5 * self._next_multiplier(rng)
 
     def sample_rtt(self, rng: random.Random, src: str, dst: str) -> float:
         """Sample a full round trip (two independent one-way legs)."""

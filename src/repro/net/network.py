@@ -11,6 +11,7 @@ looks like to the sender.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -25,7 +26,7 @@ from repro.sim import Environment, Future, RandomStreams
 DEFAULT_RPC_TIMEOUT_MS = 10_000.0
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message on the wire."""
 
@@ -37,7 +38,7 @@ class Message:
     reply_to: Optional[int] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Counters used by tests and by the benchmark reports."""
 
@@ -72,6 +73,12 @@ class Network:
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         self._pending_rpcs: Dict[int, Future] = {}
         self._msg_ids = itertools.count(1)
+        # Timeout wheels: one FIFO per distinct timeout duration.  RPCs with
+        # the same timeout expire in issue order, so each wheel stays sorted
+        # by deadline and a single armed sweeper event per wheel replaces the
+        # per-RPC expiry callback that used to dominate the event heap.
+        self._timeout_wheels: Dict[float, deque] = {}
+        self._armed_wheels: set = set()
 
     # -- registration -------------------------------------------------------
     def register(self, site: str, handler: Callable[[Message], None]) -> None:
@@ -90,23 +97,31 @@ class Network:
     def send(self, src: str, dst: str, kind: str, payload: Any = None,
              reply_to: Optional[int] = None, size_bytes: int = 0) -> int:
         """Send a one-way message; returns its message id."""
+        msg_id = next(self._msg_ids)
+        stats = self.stats
+        stats.sent += 1
+        stats.bytes_sent += size_bytes
+        per_kind = stats.per_kind
+        try:
+            per_kind[kind] += 1
+        except KeyError:
+            per_kind[kind] = 1
+        partitions = self.partitions
+        if not partitions.idle and not partitions.connected(src, dst):
+            # A dropped message is never observable, so it is never built.
+            stats.dropped_partition += 1
+            return msg_id
         message = Message(
             src=src,
             dst=dst,
             kind=kind,
             payload=payload,
-            msg_id=next(self._msg_ids),
+            msg_id=msg_id,
             reply_to=reply_to,
         )
-        self.stats.sent += 1
-        self.stats.bytes_sent += size_bytes
-        self.stats.per_kind[kind] = self.stats.per_kind.get(kind, 0) + 1
-        if not self.partitions.connected(src, dst):
-            self.stats.dropped_partition += 1
-            return message.msg_id
         delay = self.latency.one_way(self._rng, src, dst) * self.latency_factor
         self.env.schedule(delay, self._deliver, message)
-        return message.msg_id
+        return msg_id
 
     # -- degraded-latency epochs ------------------------------------------------
     def degrade(self, factor: float) -> None:
@@ -126,8 +141,9 @@ class Network:
             # exactly as a TCP RST/timeout looks to the application.
             return
         self.stats.delivered += 1
-        if message.reply_to is not None:
-            pending = self._pending_rpcs.pop(message.reply_to, None)
+        reply_to = message.reply_to
+        if reply_to is not None:
+            pending = self._pending_rpcs.pop(reply_to, None)
             if pending is not None and not pending.triggered:
                 pending.succeed(message.payload)
             return
@@ -147,18 +163,34 @@ class Network:
         response: Future = self.env.future()
         msg_id = self.send(src, dst, kind, payload, size_bytes=size_bytes)
         self._pending_rpcs[msg_id] = response
+        wheel = self._timeout_wheels.get(timeout_ms)
+        if wheel is None:
+            wheel = self._timeout_wheels[timeout_ms] = deque()
+        wheel.append((self.env.now + timeout_ms, msg_id, src, dst, kind))
+        if timeout_ms not in self._armed_wheels:
+            self._armed_wheels.add(timeout_ms)
+            self.env.schedule(timeout_ms, self._sweep_timeouts, timeout_ms)
+        return response
 
-        def _expire() -> None:
-            pending = self._pending_rpcs.pop(msg_id, None)
+    def _sweep_timeouts(self, timeout_ms: float) -> None:
+        """Expire every RPC of one timeout class whose deadline has passed."""
+        wheel = self._timeout_wheels[timeout_ms]
+        now = self.env.now
+        pending_rpcs = self._pending_rpcs
+        while wheel and wheel[0][0] <= now:
+            _deadline, msg_id, src, dst, kind = wheel.popleft()
+            pending = pending_rpcs.pop(msg_id, None)
             if pending is not None and not pending.triggered:
                 self.stats.rpc_timeouts += 1
                 pending.fail(RequestTimeout(
                     f"rpc {kind!r} from {src} to {dst} timed out after "
                     f"{timeout_ms} ms"
                 ))
-
-        self.env.schedule(timeout_ms, _expire)
-        return response
+        if wheel:
+            self.env.schedule(wheel[0][0] - now, self._sweep_timeouts,
+                              timeout_ms)
+        else:
+            self._armed_wheels.discard(timeout_ms)
 
     def reply(self, request: Message, payload: Any = None, size_bytes: int = 0) -> None:
         """Send the response for ``request`` back to its sender."""

@@ -21,6 +21,14 @@ class PartitionManager:
         self._groups: Optional[List[Set[str]]] = None
         self._isolated: Set[str] = set()
         self._classifier: Optional[Callable[[str], Optional[str]]] = None
+        #: ``True`` while no partition, classifier, or isolation is in force.
+        #: Maintained eagerly so the network's per-message reachability check
+        #: is one attribute read in the (overwhelmingly common) healthy case.
+        self.idle: bool = True
+
+    def _refresh_idle(self) -> None:
+        self.idle = (self._groups is None and self._classifier is None
+                     and not self._isolated)
 
     # -- configuration -------------------------------------------------------
     def partition(self, groups: Sequence[Iterable[str]]) -> None:
@@ -43,6 +51,7 @@ class PartitionManager:
         # A static partition replaces any classifier-based one: leaving a
         # stale classifier in place would silently AND the two splits.
         self._classifier = None
+        self._refresh_idle()
 
     def partition_by(self, classifier: Callable[[str], Optional[str]]) -> None:
         """Partition by a classifier: sites communicate iff same group label.
@@ -55,14 +64,17 @@ class PartitionManager:
         """
         self._classifier = classifier
         self._groups = None
+        self._refresh_idle()
 
     def isolate(self, site: str) -> None:
         """Cut one site off from every other site."""
         self._isolated.add(site)
+        self.idle = False
 
     def rejoin(self, site: str) -> None:
         """Undo :meth:`isolate` for one site."""
         self._isolated.discard(site)
+        self._refresh_idle()
 
     def clear_partition(self) -> None:
         """Remove the group/classifier split but keep per-site isolations.
@@ -74,23 +86,24 @@ class PartitionManager:
         """
         self._groups = None
         self._classifier = None
+        self._refresh_idle()
 
     def heal(self) -> None:
         """Remove every partition and isolation."""
         self._groups = None
         self._isolated.clear()
         self._classifier = None
+        self.idle = True
 
     # -- queries ---------------------------------------------------------------
     @property
     def active(self) -> bool:
         """``True`` when any partition or isolation is in force."""
-        return (self._groups is not None or bool(self._isolated)
-                or self._classifier is not None)
+        return not self.idle
 
     def connected(self, a: str, b: str) -> bool:
         """Can a message currently travel from ``a`` to ``b``?"""
-        if a == b:
+        if self.idle or a == b:
             return True
         if a in self._isolated or b in self._isolated:
             return False

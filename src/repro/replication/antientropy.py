@@ -37,11 +37,13 @@ class AntiEntropyConfig:
     bytes_per_version: int = 1100
 
 
-@dataclass
+@dataclass(slots=True)
 class AntiEntropyStats:
     rounds: int = 0
     versions_pushed: int = 0
     messages: int = 0
+    #: Superseded same-key versions dropped from a round instead of pushed.
+    versions_coalesced: int = 0
 
 
 class AntiEntropyService:
@@ -86,12 +88,47 @@ class AntiEntropyService:
         self._push_dirty()
         self.env.schedule(self.settings.interval_ms, self._round)
 
+    def _coalesce(self, dirty: List[Version]) -> List[Version]:
+        """Drop versions superseded by a later version of the same key.
+
+        Under last-writer-wins every *visible* read on the peer resolves to
+        the newest version, so pushing a superseded one changes nothing a
+        client can observe — the peer merely archives it.  The trade-off is
+        explicit: a coalesced peer's retained version *history* has gaps
+        (a timestamp-bounded read there may surface an older version than
+        an uncoalesced push would have), which is the standard behaviour of
+        real anti-entropy protocols that exchange only latest versions.
+        MAV writes (versions carrying sibling metadata) are exempt — every
+        replica must see each one so its transaction can collect the
+        acknowledgements that make it stable (Appendix B); coalescing one
+        away would strand the transaction in the pending set.
+        """
+        if len(dirty) < 2:
+            return dirty
+        newest: Dict[str, Version] = {}
+        for version in dirty:
+            if version.siblings:
+                continue
+            current = newest.get(version.key)
+            if current is None or version.timestamp > current.timestamp:
+                newest[version.key] = version
+        kept: List[Version] = []
+        coalesced = 0
+        for version in dirty:
+            if not version.siblings and newest[version.key] is not version:
+                coalesced += 1
+                continue
+            kept.append(version)
+        if coalesced:
+            self.stats.versions_coalesced += coalesced
+        return kept
+
     def _push_dirty(self) -> None:
         if not self._dirty:
             return
         self.stats.rounds += 1
         batches: Dict[str, List[Version]] = {}
-        dirty, self._dirty = self._dirty, []
+        dirty, self._dirty = self._coalesce(self._dirty), []
         partitions = self.server.network.partitions
         retry: List[Version] = []
         for version in dirty:

@@ -24,6 +24,8 @@ from repro.sim.events import Environment, Future
 class Process(Future):
     """Drives a generator as a simulated process."""
 
+    __slots__ = ("_generator", "_waiting_on")
+
     def __init__(self, env: Environment, generator: Generator):
         if not hasattr(generator, "send"):
             raise SimulationError(
@@ -35,14 +37,14 @@ class Process(Future):
         self._waiting_on: Future | None = None
         # Start the process on the next tick so construction never reenters
         # user code synchronously.
-        env.schedule(0.0, self._resume, None, None)
+        env.schedule_now(self._resume, None, None)
 
     # -- interruption -----------------------------------------------------
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`ProcessInterrupt` into the process at its next wait."""
         if self.triggered:
             return
-        self.env.schedule(0.0, self._resume, None, ProcessInterrupt(cause))
+        self.env.schedule_now(self._resume, None, ProcessInterrupt(cause))
 
     # -- internal machinery -----------------------------------------------
     def _resume(self, value: Any, exception: BaseException | None) -> None:
@@ -74,14 +76,16 @@ class Process(Future):
 
     def _wait_for(self, future: Future) -> None:
         self._waiting_on = future
+        future.add_callback(self._on_wait_resolved)
 
-        def _on_resolved(resolved: Future) -> None:
-            if resolved.ok:
-                self._resume(resolved.value, None)
-            else:
-                self._resume(None, resolved.value)
-
-        future.add_callback(_on_resolved)
+    def _on_wait_resolved(self, resolved: Future) -> None:
+        # Slot access instead of the ``ok``/``value`` properties: this runs
+        # once per wait of every process, and the future is always resolved
+        # by the time the callback fires.
+        if resolved._failed:
+            self._resume(None, resolved._value)
+        else:
+            self._resume(resolved._value, None)
 
 
 def all_of(env: Environment, futures: Iterable[Future]) -> Future:

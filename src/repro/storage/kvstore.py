@@ -31,13 +31,27 @@ class VersionedStore:
     def install(self, version: Version) -> bool:
         """Install ``version``; returns ``False`` if that timestamp exists."""
         key = version.key
-        versions = self._versions.setdefault(key, [])
-        stamps = self._timestamps.setdefault(key, [])
-        index = bisect_right(stamps, version.timestamp)
-        if index > 0 and stamps[index - 1] == version.timestamp:
+        timestamp = version.timestamp
+        versions = self._versions.get(key)
+        if versions is None:
+            self._versions[key] = [version]
+            self._timestamps[key] = [timestamp]
+            return True
+        stamps = self._timestamps[key]
+        last = stamps[-1]
+        if timestamp > last:
+            # Common case: writes arrive in timestamp order — O(1) append
+            # instead of bisect + insert.
+            stamps.append(timestamp)
+            versions.append(version)
+        elif timestamp == last:
             return False
-        stamps.insert(index, version.timestamp)
-        versions.insert(index, version)
+        else:
+            index = bisect_right(stamps, timestamp)
+            if index > 0 and stamps[index - 1] == timestamp:
+                return False
+            stamps.insert(index, timestamp)
+            versions.insert(index, version)
         if self._keep is not None and len(versions) > self._keep:
             overflow = len(versions) - self._keep
             del versions[:overflow]

@@ -26,7 +26,7 @@ from repro.storage.kvstore import VersionedStore
 from repro.storage.records import Timestamp, Version
 
 
-@dataclass
+@dataclass(slots=True)
 class LSMCostModel:
     """Tunable cost constants (all in milliseconds unless noted)."""
 
@@ -48,7 +48,7 @@ class LSMCostModel:
     default_value_bytes: int = 1024
 
 
-@dataclass
+@dataclass(slots=True)
 class SSTable:
     """Summary of one on-disk sorted run (we only track aggregate size)."""
 
@@ -56,7 +56,7 @@ class SSTable:
     size_bytes: int
 
 
-@dataclass
+@dataclass(slots=True)
 class LSMStats:
     """Operation and I/O counters, used by tests and bench reports."""
 

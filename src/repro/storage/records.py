@@ -11,18 +11,22 @@ same transaction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import total_ordering
+from functools import lru_cache
 from typing import Any, FrozenSet, Iterable, Optional
 
 
-@total_ordering
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Timestamp:
     """A globally unique transaction timestamp.
 
     Ordered first by the logical sequence number, then by client id to break
     ties; this yields the total order per item required by Read Uncommitted
     and a deterministic last-writer-wins winner.
+
+    All four ordering operators are written out instead of deriving three
+    of them with ``functools.total_ordering`` (derived operators cost 2-3x):
+    timestamps are compared on every version install and read floor, which
+    makes these among the hottest few functions in a benchmark run.
     """
 
     sequence: int
@@ -32,6 +36,21 @@ class Timestamp:
         if not isinstance(other, Timestamp):
             return NotImplemented
         return (self.sequence, self.client_id) < (other.sequence, other.client_id)
+
+    def __le__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.sequence, self.client_id) <= (other.sequence, other.client_id)
+
+    def __gt__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.sequence, self.client_id) > (other.sequence, other.client_id)
+
+    def __ge__(self, other: "Timestamp") -> bool:
+        if not isinstance(other, Timestamp):
+            return NotImplemented
+        return (self.sequence, self.client_id) >= (other.sequence, other.client_id)
 
     def as_tuple(self) -> tuple:
         return (self.sequence, self.client_id)
@@ -45,7 +64,7 @@ class Timestamp:
 NULL_TIMESTAMP = Timestamp(sequence=-1, client_id=-1)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Version:
     """One immutable version of a data item."""
 
@@ -81,8 +100,14 @@ class Version:
         return 34 + 15 * max(0, len(self.siblings) - 1)
 
 
+@lru_cache(maxsize=1 << 20)
 def initial_version(key: str) -> Version:
-    """The bottom version (value ``None``) present before any write."""
+    """The bottom version (value ``None``) present before any write.
+
+    Memoized: versions are immutable, every read of a not-yet-written key
+    materializes this same bottom version, and benchmark workloads read from
+    bounded key spaces.
+    """
     return Version(key=key, value=None, timestamp=NULL_TIMESTAMP, txn_id=None)
 
 

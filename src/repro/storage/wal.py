@@ -6,6 +6,12 @@ disk-resident write-ahead log".  The WAL therefore contributes a fixed fsync
 cost to every durable write; the MAV protocol pays it twice (once into the
 WAL/pending set, once when the write moves to the good set), which is exactly
 the "two writes for every client-side write" overhead reported in Section 6.3.
+
+Records are stored as plain tuples internally — the append path runs once
+per durable write on every server and only the cost model matters there;
+:meth:`WriteAheadLog.replay` materializes :class:`LogRecord` objects on
+demand.  ``max_records`` bounds retention so long chaos runs do not grow an
+unbounded log on every replica.
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator, List, Optional
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LogRecord:
     """One appended record."""
 
@@ -32,23 +38,28 @@ class WriteAheadLog:
     fsync_ms: float = 0.4
     bytes_per_ms: float = 200_000.0
     group_commit: bool = True
-    _records: List[LogRecord] = field(default_factory=list)
+    #: Bound on retained records (``None`` = keep everything).  Server nodes
+    #: cap theirs: the retained records exist for replay and debugging, and
+    #: an unbounded list grows forever on every replica of a long run.
+    max_records: Optional[int] = None
+    _records: List[tuple] = field(default_factory=list)
     _next_lsn: int = 0
     _unsynced_bytes: int = 0
 
     def append(self, kind: str, key: Optional[str], payload: Any,
                size_bytes: int = 128, sync: bool = True) -> float:
         """Append a record; return the simulated time cost in milliseconds."""
-        record = LogRecord(
-            lsn=self._next_lsn, kind=kind, key=key, payload=payload,
-            size_bytes=size_bytes,
-        )
-        self._records.append(record)
+        records = self._records
+        records.append((self._next_lsn, kind, key, payload, size_bytes))
         self._next_lsn += 1
+        if self.max_records is not None and len(records) > self.max_records:
+            del records[: len(records) - self.max_records]
         self._unsynced_bytes += size_bytes
         if not sync:
             return size_bytes / self.bytes_per_ms
-        return self.sync()
+        cost = self.fsync_ms + self._unsynced_bytes / self.bytes_per_ms
+        self._unsynced_bytes = 0
+        return cost
 
     def sync(self) -> float:
         """Flush unsynced bytes; return the simulated cost in milliseconds."""
@@ -59,12 +70,12 @@ class WriteAheadLog:
     def truncate(self, up_to_lsn: int) -> int:
         """Drop records with lsn < ``up_to_lsn``; return how many were dropped."""
         before = len(self._records)
-        self._records = [r for r in self._records if r.lsn >= up_to_lsn]
+        self._records = [r for r in self._records if r[0] >= up_to_lsn]
         return before - len(self._records)
 
     def replay(self) -> Iterator[LogRecord]:
         """Iterate over retained records in append order (crash recovery)."""
-        return iter(list(self._records))
+        return iter([LogRecord(*record) for record in self._records])
 
     @property
     def last_lsn(self) -> int:

@@ -1,0 +1,58 @@
+"""Perf-smoke tests: the simulator's speed floor, enforced.
+
+Marked ``perf`` so they can be deselected (``-m "not perf"``) on saturated
+machines.  The bounds are deliberately generous — an order of magnitude
+below current numbers — so they only trip on real regressions (an
+accidentally quadratic hot path, an event-loop bug), not on CI noise.
+"""
+
+import pytest
+
+from repro.bench.perf import (
+    canonical_perf_matrix,
+    format_perf,
+    perf_report_json,
+    run_perf_case,
+    run_perf_matrix,
+)
+
+#: Current hardware does > 60k events/s on every canonical case; a collapse
+#: below this floor means a kernel hot path regressed by ~10x.
+MIN_EVENTS_PER_S = 5_000
+#: Every quick case finishes well under a second today.
+MAX_CASE_WALL_S = 30.0
+
+pytestmark = pytest.mark.perf
+
+
+class TestPerfSmoke:
+    def test_matrix_runs_within_bounds(self):
+        results = run_perf_matrix(quick=True)
+        assert len(results) == len(canonical_perf_matrix())
+        for result in results:
+            assert result.wall_s < MAX_CASE_WALL_S, result.name
+            assert result.events > 0, result.name
+            assert result.events_per_s > MIN_EVENTS_PER_S, (
+                f"{result.name}: events/sec collapsed to "
+                f"{result.events_per_s:.0f} — a kernel hot path regressed"
+            )
+
+    def test_cases_commit_work(self):
+        """Speed without progress is meaningless: every case must commit."""
+        for case in canonical_perf_matrix():
+            result = run_perf_case(case, scale=0.5)
+            assert result.committed > 0, case.name
+
+    def test_report_forms(self):
+        results = run_perf_matrix(quick=True,
+                                  cases=canonical_perf_matrix()[:2])
+        text = format_perf(results)
+        assert "events/s" in text and "TOTAL" in text
+        payload = perf_report_json(results)
+        assert payload["figure"] == "perf"
+        assert len(payload["cases"]) == 2
+        assert payload["total_events_per_s"] > 0
+        # JSON-safe: every value serializes without NaN/Inf.
+        import json
+
+        json.dumps(payload, allow_nan=False)

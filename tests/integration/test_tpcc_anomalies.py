@@ -111,7 +111,10 @@ class TestDoubleDeliveries:
         return audit_tpcc_history(recorder.build())
 
     def test_hat_mix_double_delivers(self):
-        report = self._run_mix("read-committed")
+        # 80 transactions per client: the double-delivery race needs enough
+        # Delivery/Delivery collisions to manifest for this seed under the
+        # current timing model (it shows ~2 at this scale).
+        report = self._run_mix("read-committed", transactions_per_client=80)
         assert len(report.double_deliveries) >= 1
 
     def test_locking_mix_never_double_delivers(self):

@@ -9,6 +9,8 @@ functions of their seeds, down to float equality (not approx).
 
 from hypothesis import given, settings, strategies as st
 
+from repro.bench.experiments import figure3_geo_replication, tpcc_sim_experiment
+from repro.bench.parallel import run_configs
 from repro.bench.runner import RunConfig, run_workload
 from repro.chaos.campaign import CampaignSpec, generate_campaign
 from repro.chaos.nemesis import Nemesis
@@ -86,3 +88,37 @@ class TestSeedDeterminism:
         stats_b, campaign_b = chaos_run(seed)
         assert campaign_a == campaign_b
         assert stats_a == stats_b
+
+
+class TestParallelDeterminism:
+    """--jobs N sweeps must be bit-identical to sequential execution.
+
+    Worker processes replay the exact same seeded simulations; the merge
+    preserves input order; so every RunStats (floats included) must match
+    under dataclass equality, not approx.
+    """
+
+    def test_run_configs_parallel_matches_sequential(self):
+        configs = [quick_config(seed) for seed in (0, 1, 2, 3)]
+        sequential = run_configs(configs, jobs=None)
+        parallel = run_configs([quick_config(seed) for seed in (0, 1, 2, 3)],
+                               jobs=2)
+        assert sequential == parallel
+
+    def test_figure_sweep_parallel_matches_sequential(self):
+        kwargs = dict(client_counts=(2,), duration_ms=150.0,
+                      protocols=("eventual", "read-committed"),
+                      servers_per_cluster=2)
+        sequential = figure3_geo_replication(**kwargs)
+        parallel = figure3_geo_replication(**kwargs, jobs=2)
+        assert sequential == parallel
+
+    def test_tpcc_sim_parallel_matches_sequential(self):
+        kwargs = dict(protocols=("eventual", "lock-sr"), duration_ms=300.0)
+        sequential = tpcc_sim_experiment(**kwargs)
+        parallel = tpcc_sim_experiment(**kwargs, jobs=2)
+        for a, b in zip(sequential, parallel):
+            assert a.protocol == b.protocol
+            assert a.stats == b.stats
+            assert a.anomalies.as_dict() == b.anomalies.as_dict()
+            assert a.committed_by_type == b.committed_by_type

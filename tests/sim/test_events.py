@@ -77,6 +77,62 @@ class TestEnvironment:
         env.schedule(2.0, lambda: None)
         assert env.pending_events == 2
 
+    def test_pending_events_counts_zero_delay_events(self):
+        env = Environment()
+        env.schedule(0.0, lambda: None)
+        env.schedule(1.0, lambda: None)
+        assert env.pending_events == 2
+        env.run()
+        assert env.pending_events == 0
+
+    def test_zero_delay_preserves_schedule_order_at_equal_times(self):
+        """The immediate FIFO merges with the heap in (time, seq) order.
+
+        An event already scheduled *for* time T runs before a zero-delay
+        event scheduled *at* time T — exactly the order a pure-heap kernel
+        with a global sequence counter produces.
+        """
+        env = Environment()
+        order = []
+        env.schedule(5.0, order.append, "delayed-at-5")
+
+        def at_five():
+            order.append("first-at-5")
+            env.schedule(0.0, order.append, "zero-delay-at-5")
+
+        env.schedule(5.0, at_five)
+        # "delayed-at-5" was scheduled first, so it runs first; the
+        # zero-delay event scheduled during at_five runs last.
+        env.run()
+        assert order == ["delayed-at-5", "first-at-5", "zero-delay-at-5"]
+
+    def test_zero_delay_events_run_fifo(self):
+        env = Environment()
+        order = []
+        for tag in range(5):
+            env.schedule(0.0, order.append, tag)
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+        assert env.now == 0.0
+
+    def test_events_executed_counter_tracks_all_events(self):
+        env = Environment()
+        env.schedule(0.0, lambda: None)
+        env.schedule(1.0, lambda: None)
+        env.schedule(2.0, lambda: None)
+        env.run()
+        assert env.events_executed == 3
+
+    def test_run_until_with_pending_immediate_events(self):
+        """Zero-delay work scheduled before ``until`` still runs."""
+        env = Environment()
+        fired = []
+        env.schedule(0.0, fired.append, "now")
+        env.schedule(50.0, fired.append, "late")
+        env.run(until=10.0)
+        assert fired == ["now"]
+        assert env.now == 10.0
+
 
 class TestFuture:
     def test_succeed_resolves_value(self):

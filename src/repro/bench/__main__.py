@@ -20,9 +20,11 @@ from typing import Callable, Dict, Optional
 
 from repro.bench.experiments import (
     AVAILABILITY_PROTOCOLS,
+    ELASTICITY_PROTOCOLS,
     TPCC_SIM_PROTOCOLS,
     availability_experiment,
     composite_guarantee_sweep,
+    elasticity_experiment,
     figure3_geo_replication,
     figure4_transaction_length,
     figure5_write_proportion,
@@ -31,7 +33,9 @@ from repro.bench.experiments import (
 )
 from repro.bench.report import (
     availability_report_json,
+    elasticity_report_json,
     format_availability,
+    format_elasticity,
     format_latency_and_throughput,
     format_series,
     format_tpcc_sim,
@@ -179,6 +183,30 @@ def _availability(quick: bool, jobs=None):
     return format_availability(results), availability_report_json(results)
 
 
+def _elasticity(quick: bool, jobs=None):
+    """Elasticity artifact: availability and data movement through churn.
+
+    Five phases — baseline, live scale-out, a region partition with a
+    second rebalance inside it, scale-in, recovery — per protocol spec.
+    Sticky HAT stacks keep serving through the partitioned rebalance
+    while master/quorum stall; the rebalance table reports keys moved
+    versus the 1/n consistent-hashing ideal plus handoff bytes/duration.
+    """
+    scale = 0.5 if quick else 1.0
+    results = elasticity_experiment(
+        protocols=("eventual", "causal", "master") if quick
+        else ELASTICITY_PROTOCOLS,
+        baseline_ms=2_000.0 * scale,
+        scale_out_ms=2_500.0 * scale,
+        partition_ms=4_000.0 * scale,
+        scale_in_ms=2_500.0 * scale,
+        recovery_ms=1_500.0 * scale,
+        window_ms=500.0 * scale,
+        jobs=jobs,
+    )
+    return format_elasticity(results), elasticity_report_json(results)
+
+
 ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "table1": _table1,
     "table2": _table2,
@@ -192,6 +220,7 @@ ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "tpcc": _tpcc,
     "tpcc-sim": _tpcc_sim,
     "availability": _availability,
+    "elasticity": _elasticity,
     "perf": _perf,
 }
 
@@ -215,7 +244,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write <DIR>/<artifact>.json for artifacts "
                              "with a JSON form (currently: availability, "
-                             "tpcc-sim, perf)")
+                             "elasticity, tpcc-sim, perf)")
     return parser
 
 

@@ -19,14 +19,17 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.adya.history import HistoryRecorder
+from repro.adya.phenomena import detect
 from repro.bench.metrics import RunStats
 from repro.bench.parallel import run_configs, run_tasks
 from repro.bench.runner import RunConfig, run_workload
 from repro.chaos.campaign import (
     Campaign,
     CampaignPhase,
+    canonical_elasticity_campaign,
     canonical_partition_campaign,
 )
+from repro.membership.coordinator import RebalanceRecord
 from repro.chaos.nemesis import NarrationEntry, Nemesis
 from repro.chaos.telemetry import (
     AvailabilitySLO,
@@ -65,6 +68,16 @@ AVAILABILITY_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal",
 #: serializable 2PL baseline).
 TPCC_SIM_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal",
                       MASTER, "lock-sr")
+
+#: Protocols swept by the elasticity experiment: the registry's HAT classes
+#: against the coordinated baselines that stall when a partition overlaps a
+#: rebalance.
+ELASTICITY_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal",
+                        "mav+causal", MASTER, QUORUM)
+
+#: Anomalies counted on elasticity histories: dirty writes, aborted reads,
+#: and eventual's signature Item-Many-Preceders.
+ELASTICITY_ANOMALIES = ("G0", "G1a", "IMP")
 
 
 @dataclass
@@ -554,3 +567,144 @@ def tpcc_sim_experiment(
               recovery_ms, window_ms, slo, seed)
              for protocol in protocols]
     return run_tasks(_tpcc_protocol_run, tasks, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Elasticity: availability and data movement through live membership churn
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ElasticityResult:
+    """One protocol's run through the canonical elasticity campaign."""
+
+    protocol: str
+    campaign: Campaign
+    window_ms: float
+    slo: AvailabilitySLO
+    #: Home region -> per-window timeline for the clients homed there.
+    groups: Dict[str, GroupTimeline]
+    stats: RunStats
+    #: Every membership change the coordinator drove, in firing order.
+    rebalances: List[RebalanceRecord] = field(default_factory=list)
+    #: Adya anomaly witness counts on the recorded history.
+    anomalies: Dict[str, int] = field(default_factory=dict)
+    narration: List[NarrationEntry] = field(default_factory=list)
+
+    def phase_availability(self, group: str) -> Dict[str, Optional[float]]:
+        """SLO-window availability per campaign phase for one client group."""
+        return self.groups[group].phase_availability(self.campaign.phases,
+                                                     self.slo)
+
+    def min_phase_availability(self, phase: str) -> Optional[float]:
+        """The worst group's availability during ``phase`` (None if unscored)."""
+        scores = [self.phase_availability(group).get(phase)
+                  for group in self.groups]
+        scores = [s for s in scores if s is not None]
+        return min(scores) if scores else None
+
+    def first_join(self) -> Optional[RebalanceRecord]:
+        """The healthy scale-out join (the keys-moved-vs-ideal headline)."""
+        for record in self.rebalances:
+            if record.kind == "join" and record.done:
+                return record
+        return None
+
+
+def _elasticity_protocol_run(
+    protocol: str,
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    clients_per_cluster: int,
+    virtual_nodes: int,
+    baseline_ms: float,
+    scale_out_ms: float,
+    partition_ms: float,
+    scale_in_ms: float,
+    recovery_ms: float,
+    window_ms: float,
+    slo: Optional[AvailabilitySLO],
+    workload: Optional[YCSBConfig],
+    seed: int,
+) -> ElasticityResult:
+    """One protocol's full elasticity run (the parallel-sweep worker)."""
+    scenario = Scenario(regions=list(regions),
+                        servers_per_cluster=servers_per_cluster,
+                        seed=seed, placement="ring",
+                        virtual_nodes=virtual_nodes,
+                        anti_entropy_max_per_round=32)
+    testbed = build_testbed(scenario)
+    campaign = canonical_elasticity_campaign(
+        list(regions), cluster=testbed.config.cluster_names[0],
+        baseline_ms=baseline_ms, scale_out_ms=scale_out_ms,
+        partition_ms=partition_ms, scale_in_ms=scale_in_ms,
+        recovery_ms=recovery_ms)
+    nemesis = Nemesis(testbed, campaign)
+    nemesis.install()
+    telemetry = TimelineTelemetry(window_ms=window_ms, slo=slo)
+    recorder = HistoryRecorder()
+    config = RunConfig(
+        protocol=protocol,
+        scenario=scenario,
+        workload=workload or YCSBConfig(key_count=5_000),
+        clients_per_cluster=clients_per_cluster,
+        duration_ms=campaign.duration_ms,
+        warmup_ms=0.0,
+        seed=seed,
+        # Bound how long a client wedges behind a reply the partition
+        # dropped: with the default 10 s deadline a client mid-RPC at
+        # partition onset would stay dark for the entire campaign.
+        client_kwargs={"rpc_timeout_ms": 2_000.0},
+    )
+    stats = run_workload(config, testbed=testbed, recorder=recorder,
+                         telemetry=telemetry)
+    history = recorder.build()
+    anomalies = {name: len(detect(history, name))
+                 for name in ELASTICITY_ANOMALIES}
+    return ElasticityResult(
+        protocol=protocol,
+        campaign=campaign,
+        window_ms=window_ms,
+        slo=telemetry.slo,
+        groups=telemetry.build(),
+        stats=stats,
+        rebalances=list(testbed.membership.records),
+        anomalies=anomalies,
+        narration=list(nemesis.log),
+    )
+
+
+def elasticity_experiment(
+    protocols: Sequence[str] = ELASTICITY_PROTOCOLS,
+    regions: Sequence[str] = ("VA", "OR"),
+    servers_per_cluster: int = 2,
+    clients_per_cluster: int = 2,
+    virtual_nodes: int = 128,
+    baseline_ms: float = 2_000.0,
+    scale_out_ms: float = 2_500.0,
+    partition_ms: float = 4_000.0,
+    scale_in_ms: float = 2_500.0,
+    recovery_ms: float = 1_500.0,
+    window_ms: float = 500.0,
+    slo: Optional[AvailabilitySLO] = None,
+    workload: Optional[YCSBConfig] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[ElasticityResult]:
+    """Sweep protocol specs through the canonical elasticity campaign.
+
+    Every protocol runs the same closed-loop YCSB workload on a
+    ring-placed deployment while the nemesis executes five phases:
+    baseline, a live scale-out (a joining server streams owed versions
+    and serves only after catch-up), a region partition *with a second
+    rebalance inside it*, a scale-in draining a server back out, and
+    recovery.  The result carries per-phase SLO availability (the sticky
+    HAT stacks keep serving through the partitioned rebalance while
+    master/quorum stall), the coordinator's rebalance records (keys moved
+    versus the 1/n consistent-hashing ideal, handoff bytes and duration),
+    and Adya anomaly counts from the recorded history.
+    """
+    tasks = [(protocol, regions, servers_per_cluster, clients_per_cluster,
+              virtual_nodes, baseline_ms, scale_out_ms, partition_ms,
+              scale_in_ms, recovery_ms, window_ms, slo, workload, seed)
+             for protocol in protocols]
+    return run_tasks(_elasticity_protocol_run, tasks, jobs=jobs)

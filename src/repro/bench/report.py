@@ -6,6 +6,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.bench.experiments import (
     AvailabilityTimeline,
+    ElasticityResult,
     ExperimentPoint,
     TPCCSimResult,
 )
@@ -203,6 +204,114 @@ def availability_report_json(results: Sequence[AvailabilityTimeline]) -> Dict:
             "aborted_total": result.stats.aborted,
             "groups": {},
         }
+        for group in sorted(result.groups):
+            timeline = result.groups[group]
+            entry["groups"][group] = {
+                "availability": timeline.availability(result.slo),
+                "phase_availability": result.phase_availability(group),
+                "windows": [w.as_dict() for w in timeline.windows],
+            }
+        payload["protocols"].append(entry)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Elasticity: membership churn timelines and rebalance accounting
+# ---------------------------------------------------------------------------
+
+def format_elasticity(results: Sequence[ElasticityResult]) -> str:
+    """Availability strips through the elasticity campaign plus a rebalance
+    table: keys moved versus the consistent-hashing ideal, handoff volume
+    and duration, and Adya anomaly counts per protocol."""
+    if not results:
+        return "(no data)"
+    campaign = results[0].campaign
+    slo = results[0].slo
+    lines = [
+        "Availability through elastic membership churn "
+        f"(window = {results[0].window_ms:g} ms)",
+        f"SLO per window: >= {slo.min_committed} commit(s), "
+        f">= {slo.min_success_fraction:.0%} success",
+        "phases: " + "  ".join(
+            f"{p.name} [{p.start_ms:g}, {p.end_ms:g})" for p in campaign.phases),
+        "",
+    ]
+    phase_names = [phase.name for phase in campaign.phases]
+    strip_width = max((len(t.windows) for r in results
+                       for t in r.groups.values()), default=0)
+    header = (f"{'protocol':<16} {'region':<8} {'timeline':<{strip_width}} "
+              + "".join(f"{name:>22}" for name in phase_names))
+    lines += [header, "-" * len(header)]
+    for result in results:
+        for group in sorted(result.groups):
+            timeline = result.groups[group]
+            strip = "".join("#" if w.meets(result.slo) else "."
+                            for w in timeline.windows)
+            scores = result.phase_availability(group)
+            lines.append(
+                f"{result.protocol:<16} {group:<8} {strip:<{strip_width}} "
+                + "".join(_score_cell(scores.get(name)).rjust(22)
+                          for name in phase_names)
+            )
+    lines += ["", "rebalances (identical campaign for every protocol; "
+                  "handoff volume varies with the data each run wrote):"]
+    rebalance_header = (f"{'protocol':<16} {'event':<6} {'server':<18} "
+                        f"{'start':>8} {'ms':>8} {'keys':>6} {'moved':>7} "
+                        f"{'ideal':>7} {'versions':>9} {'KiB':>8}")
+    lines += [rebalance_header, "-" * len(rebalance_header)]
+    for result in results:
+        for record in result.rebalances:
+            moved = record.keys_moved_fraction
+            lines.append(
+                f"{result.protocol:<16} {record.kind:<6} {record.server:<18} "
+                f"{record.start_ms:>8.0f} "
+                + (f"{record.duration_ms:>8.1f} " if record.done else f"{'-':>8} ")
+                + f"{record.keys_moved:>6} "
+                + (f"{moved:>7.3f} " if moved is not None else f"{'-':>7} ")
+                + f"{record.ideal_fraction:>7.3f} {record.versions_moved:>9} "
+                  f"{record.bytes_moved / 1024.0:>8.1f}"
+            )
+    lines += ["", "Adya anomaly witnesses on the recorded histories:"]
+    anomaly_names = list(results[0].anomalies)
+    anomaly_header = (f"{'protocol':<16} "
+                      + "".join(f"{name:>12}" for name in anomaly_names))
+    lines += [anomaly_header, "-" * len(anomaly_header)]
+    for result in results:
+        lines.append(f"{result.protocol:<16} "
+                     + "".join(f"{result.anomalies.get(name, 0):>12}"
+                               for name in anomaly_names))
+    narration = [entry for result in results[:1] for entry in result.narration]
+    if narration:
+        lines += ["", "nemesis narration (identical for every protocol):"]
+        lines += [f"  {entry}" for entry in narration]
+    return "\n".join(lines)
+
+
+def elasticity_report_json(results: Sequence[ElasticityResult]) -> Dict:
+    """A JSON-safe artifact of the elasticity experiment (no NaN anywhere)."""
+    payload: Dict = {"figure": "elasticity", "protocols": []}
+    if results:
+        campaign = results[0].campaign
+        payload["window_ms"] = results[0].window_ms
+        payload["slo"] = results[0].slo.as_dict()
+        payload["campaign"] = {
+            "duration_ms": campaign.duration_ms,
+            "phases": [{"name": p.name, "start_ms": p.start_ms,
+                        "end_ms": p.end_ms} for p in campaign.phases],
+            "actions": [{"at_ms": a.at_ms, "kind": a.kind, "note": a.note}
+                        for a in campaign.timeline()],
+        }
+    for result in results:
+        entry = {
+            "protocol": result.protocol,
+            "committed_total": result.stats.committed,
+            "aborted_total": result.stats.aborted,
+            "anomalies": dict(result.anomalies),
+            "rebalances": [record.as_dict() for record in result.rebalances],
+            "groups": {},
+        }
+        first = result.first_join()
+        entry["first_join"] = first.as_dict() if first is not None else None
         for group in sorted(result.groups):
             timeline = result.groups[group]
             entry["groups"][group] = {

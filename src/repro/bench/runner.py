@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import gc
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.bench.metrics import RunStats, summarize_run
 from repro.hat.testbed import Scenario, Testbed, build_testbed
@@ -65,6 +65,10 @@ class RunConfig:
     #: Retry back-off after an abort that consumed no simulated time (see
     #: ``ZERO_TIME_ABORT_BACKOFF_MS``); only chaos runs ever hit it.
     abort_backoff_ms: float = ZERO_TIME_ABORT_BACKOFF_MS
+    #: Extra keyword arguments for every client the run constructs (e.g.
+    #: ``{"rpc_timeout_ms": 2_000.0}`` so chaos runs bound how long a
+    #: client wedges behind a reply the partition dropped).
+    client_kwargs: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def total_clients(self) -> int:
@@ -150,7 +154,8 @@ def _run_workload_inner(config: RunConfig, testbed: Testbed, env,
         for _ in range(config.clients_per_cluster):
             client = testbed.make_client(config.protocol,
                                          home_cluster=cluster_name,
-                                         recorder=recorder)
+                                         recorder=recorder,
+                                         **config.client_kwargs)
             workload = factory.build(seed=config.seed * 10_000 + client_index,
                                      session_id=client_index)
             env.process(client_loop(client, workload, group))

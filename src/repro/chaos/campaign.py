@@ -39,6 +39,8 @@ CRASH = "crash"
 RECOVER = "recover"
 DEGRADE = "degrade"
 RESTORE = "restore"
+SCALE_OUT = "scale-out"
+SCALE_IN = "scale-in"
 
 #: Refuse to synthesize a flap epoch with more cycles than this: a tiny
 #: period against a long epoch means millions of actions, not a campaign.
@@ -55,7 +57,8 @@ class CampaignAction:
 
     at_ms: float
     kind: str
-    #: Server name for isolate/rejoin/crash/recover actions.
+    #: Server name for isolate/rejoin/crash/recover actions; cluster name
+    #: for scale-out/scale-in membership actions.
     target: Optional[str] = None
     #: Region groups for partition actions.
     groups: Tuple[Tuple[str, ...], ...] = ()
@@ -136,16 +139,34 @@ class CampaignSpec:
     degraded_epochs: int = 0
     degraded_factor: float = 5.0
     degraded_duration_ms: Tuple[float, float] = (1_000.0, 2_500.0)
+    #: Membership churn: individual joins, individual decommissions, and
+    #: rebalance storms (rapid join-then-leave cycles in one cluster).
+    #: All three require the run's scenario to use ring placement and the
+    #: campaign generator to be told the cluster names.
+    scale_outs: int = 0
+    scale_ins: int = 0
+    rebalance_storms: int = 0
+    #: Length range of the phase window scored around each membership event.
+    rebalance_phase_ms: Tuple[float, float] = (1_000.0, 2_000.0)
+    #: Join-then-leave cycles per storm and their period.
+    storm_cycles: int = 2
+    storm_period_ms: float = 1_200.0
 
     def __post_init__(self) -> None:
         if self.duration_ms <= 0:
             raise CampaignError("campaign duration must be positive")
         for name in ("partitions", "flapping_servers", "crashes",
-                     "degraded_epochs"):
+                     "degraded_epochs", "scale_outs", "scale_ins",
+                     "rebalance_storms"):
             if getattr(self, name) < 0:
                 raise CampaignError(f"{name} cannot be negative")
+        if self.storm_cycles < 1:
+            raise CampaignError("storm_cycles must be at least 1")
+        if self.storm_period_ms <= 0:
+            raise CampaignError("storm_period_ms must be positive")
         for name in ("partition_duration_ms", "flap_duration_ms",
-                     "crash_downtime_ms", "degraded_duration_ms"):
+                     "crash_downtime_ms", "degraded_duration_ms",
+                     "rebalance_phase_ms"):
             low, high = getattr(self, name)
             if not 0 < low <= high:
                 raise CampaignError(f"{name} must be an increasing positive range")
@@ -318,15 +339,69 @@ def _degraded_actions(spec: CampaignSpec,
     return actions, phases
 
 
+def _membership_actions(spec: CampaignSpec, clusters: Sequence[str],
+                        rng) -> Tuple[List[CampaignAction], List[CampaignPhase]]:
+    """Joins, decommissions, and rebalance storms, slotted as one family.
+
+    Membership changes of one cluster must not race each other (the
+    coordinator serializes them by deferral, but overlapped epochs would
+    blur the per-phase scores), so all three knobs share the slot layout
+    the other families use.  Each event fires at its phase start; the
+    phase window is what the telemetry scores around it.
+    """
+    epochs = spec.scale_outs + spec.scale_ins + spec.rebalance_storms
+    actions: List[CampaignAction] = []
+    phases: List[CampaignPhase] = []
+    if epochs == 0:
+        return actions, phases
+    if not clusters:
+        raise CampaignError(
+            "membership events (scale_outs/scale_ins/rebalance_storms) "
+            "require generate_campaign(..., clusters=...)")
+    kinds = ([SCALE_OUT] * spec.scale_outs + [SCALE_IN] * spec.scale_ins
+             + ["storm"] * spec.rebalance_storms)
+    for index, kind in enumerate(kinds):
+        cluster = clusters[rng.randrange(len(clusters))]
+        start, length = _slot_epoch(
+            rng, spec.duration_ms, index, epochs,
+            _uniform(rng, spec.rebalance_phase_ms))
+        if kind == "storm":
+            label = f"storm-{index + 1}"
+            for cycle in range(spec.storm_cycles):
+                t = start + cycle * spec.storm_period_ms
+                if t >= start + length:
+                    break
+                actions.append(CampaignAction(
+                    at_ms=t, kind=SCALE_OUT, target=cluster,
+                    note=f"{label}: {cluster} scales out",
+                ))
+                leave_at = min(t + spec.storm_period_ms / 2.0, start + length)
+                actions.append(CampaignAction(
+                    at_ms=leave_at, kind=SCALE_IN, target=cluster,
+                    note=f"{label}: {cluster} scales back in",
+                ))
+        else:
+            verb = "scales out" if kind == SCALE_OUT else "scales in"
+            label = f"{kind}-{index + 1}"
+            actions.append(CampaignAction(
+                at_ms=start, kind=kind, target=cluster,
+                note=f"{label}: {cluster} {verb}",
+            ))
+        phases.append(CampaignPhase(label, start, start + length))
+    return actions, phases
+
+
 def generate_campaign(spec: CampaignSpec, regions: Sequence[str],
-                      servers: Sequence[str], seed: int = 0) -> Campaign:
+                      servers: Sequence[str], seed: int = 0,
+                      clusters: Sequence[str] = ()) -> Campaign:
     """Synthesize a concrete campaign from a declarative spec.
 
     ``regions`` and ``servers`` come from the scenario / cluster config the
-    campaign will run against.  Each fault family draws from its own named
-    stream of ``RandomStreams(seed)``, so identical seeds yield bit-identical
-    campaigns and changing one family's knobs leaves the others' timing
-    untouched.
+    campaign will run against; ``clusters`` (cluster names) is required only
+    when the spec contains membership events.  Each fault family draws from
+    its own named stream of ``RandomStreams(seed)``, so identical seeds
+    yield bit-identical campaigns and changing one family's knobs leaves
+    the others' timing untouched.
     """
     if not servers:
         raise CampaignError("campaign generation needs at least one server")
@@ -339,6 +414,7 @@ def generate_campaign(spec: CampaignSpec, regions: Sequence[str],
         _downtime_actions(spec, servers, streams.stream("chaos-crashes"),
                           streams.stream("chaos-restarts")),
         _degraded_actions(spec, streams.stream("chaos-degraded")),
+        _membership_actions(spec, clusters, streams.stream("chaos-membership")),
     ):
         actions.extend(part_actions)
         phases.extend(part_phases)
@@ -375,6 +451,55 @@ def canonical_partition_campaign(regions: Sequence[str],
         CampaignPhase("baseline", 0.0, start),
         CampaignPhase("partition", start, end),
         CampaignPhase("recovered", end, duration),
+    )
+    return Campaign(duration_ms=duration, actions=actions, phases=phases)
+
+
+def canonical_elasticity_campaign(regions: Sequence[str],
+                                  cluster: str,
+                                  baseline_ms: float = 2_000.0,
+                                  scale_out_ms: float = 2_500.0,
+                                  partition_ms: float = 4_000.0,
+                                  scale_in_ms: float = 2_500.0,
+                                  recovery_ms: float = 1_500.0) -> Campaign:
+    """The elasticity experiment's fixed five-phase campaign.
+
+    Baseline, then a live scale-out of ``cluster``; then the canonical
+    region partition (first region versus the rest) *with a second join
+    rebalancing the partitioned cluster mid-split* — the phase where
+    sticky HAT stacks must keep serving while coordinated baselines
+    stall; then a scale-in draining the extra capacity back out; then
+    recovery.  Fully deterministic — no generator randomness — so the
+    ``elasticity`` artifact is reproducible by construction.
+    """
+    if len(regions) < 2:
+        raise CampaignError("the elasticity campaign needs at least two regions")
+    groups = ((regions[0],), tuple(regions[1:]))
+    t_scale_out = baseline_ms
+    t_partition = t_scale_out + scale_out_ms
+    t_scale_in = t_partition + partition_ms
+    t_recovered = t_scale_in + scale_in_ms
+    duration = t_recovered + recovery_ms
+    actions = (
+        CampaignAction(at_ms=t_scale_out, kind=SCALE_OUT, target=cluster,
+                       note=f"scale-out: {cluster} gains a server"),
+        CampaignAction(at_ms=t_partition, kind=PARTITION, groups=groups,
+                       note=f"partition: {list(groups[0])} | {list(groups[1])}"),
+        CampaignAction(at_ms=t_partition + partition_ms * 0.25,
+                       kind=SCALE_OUT, target=cluster,
+                       note=f"rebalance under partition: {cluster} "
+                            "gains another server"),
+        CampaignAction(at_ms=t_scale_in, kind=CLEAR_PARTITION,
+                       note="partition heals"),
+        CampaignAction(at_ms=t_scale_in, kind=SCALE_IN, target=cluster,
+                       note=f"scale-in: {cluster} drains a server"),
+    )
+    phases = (
+        CampaignPhase("baseline", 0.0, t_scale_out),
+        CampaignPhase("scale-out", t_scale_out, t_partition),
+        CampaignPhase("partitioned-rebalance", t_partition, t_scale_in),
+        CampaignPhase("scale-in", t_scale_in, t_recovered),
+        CampaignPhase("recovered", t_recovered, duration),
     )
     return Campaign(duration_ms=duration, actions=actions, phases=phases)
 
@@ -422,6 +547,10 @@ def compile_campaign(campaign: Campaign, testbed) -> FaultSchedule:
             schedule.degrade_latency(at_ms=action.at_ms, factor=action.factor)
         elif action.kind == RESTORE:
             schedule.restore_latency(at_ms=action.at_ms)
+        elif action.kind == SCALE_OUT:
+            schedule.scale_out(at_ms=action.at_ms, cluster=action.target)
+        elif action.kind == SCALE_IN:
+            schedule.scale_in(at_ms=action.at_ms, cluster=action.target)
         else:
             raise CampaignError(f"unknown campaign action kind {action.kind!r}")
     return schedule

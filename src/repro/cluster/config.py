@@ -10,15 +10,34 @@ questions the protocols need:
 * ``master_for(key)`` — the designated master replica used by the non-HAT
   ``master``, locking, and quorum protocols (chosen deterministically from
   the key hash, as in the paper's "randomly designated master per key").
+
+Placement comes in two modes, selected per cluster:
+
+* ``"modulo"`` (the default) — the paper's static ``hash(key) % n`` over a
+  fixed server list, byte-identical to the historical partitioner so the
+  static figure sweeps never shift;
+* ``"ring"`` — a consistent-hash ring with virtual nodes
+  (:mod:`repro.membership.ring`), the mode elastic scenarios use so that a
+  join moves only ``~1/(n+1)`` of the key space.
+
+Since PR 5 membership is *mutable*: :meth:`ClusterConfig.add_server` and
+:meth:`ClusterConfig.remove_server` change a cluster's server list
+mid-process.  Every placement answer below is memoized, so each mutation
+bumps :attr:`ClusterConfig.epoch` and invalidates every cache — callers
+holding a cached list must treat an epoch change as a routing flush.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.cluster.partitioner import HashPartitioner
 from repro.errors import ReproError
+from repro.membership.ring import DEFAULT_VIRTUAL_NODES, ConsistentHashRing
+
+#: The placement modes a cluster accepts.
+PLACEMENT_MODES = ("modulo", "ring")
 
 
 @dataclass
@@ -28,12 +47,27 @@ class Cluster:
     name: str
     region: str
     servers: List[str] = field(default_factory=list)
+    #: ``"modulo"`` (static, byte-identical to the historical partitioner)
+    #: or ``"ring"`` (consistent hashing, required for elastic membership).
+    placement: str = "modulo"
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
 
     def __post_init__(self) -> None:
         if not self.servers:
             raise ReproError(f"cluster {self.name!r} has no servers")
-        self.partitioner = HashPartitioner(self.servers)
+        if self.placement not in PLACEMENT_MODES:
+            raise ReproError(
+                f"cluster {self.name!r}: unknown placement {self.placement!r} "
+                f"(expected one of {PLACEMENT_MODES})")
         self._owner_cache: Dict[str, str] = {}
+        self._rebuild_partitioner()
+
+    def _rebuild_partitioner(self) -> None:
+        if self.placement == "ring":
+            self.partitioner: Union[HashPartitioner, ConsistentHashRing] = \
+                ConsistentHashRing(self.servers, self.virtual_nodes)
+        else:
+            self.partitioner = HashPartitioner(self.servers)
 
     def owner_for(self, key: str) -> str:
         """The server in this cluster that owns ``key``'s partition."""
@@ -42,6 +76,48 @@ class Cluster:
             owner = self.partitioner.owner_for(key)
             self._owner_cache[key] = owner
         return owner
+
+    def pending_partitioner(self, add: Optional[str] = None,
+                            remove: Optional[str] = None):
+        """The partitioner this cluster *will* use after a membership change.
+
+        The membership coordinator routes handoff against the pending
+        placement while clients still route against the current one; the
+        switch happens atomically in :meth:`add_server`/:meth:`remove_server`.
+        Only ring clusters can answer this — modulo placement has no
+        minimal-disruption story, which is the whole point of the ring.
+        """
+        if self.placement != "ring":
+            raise ReproError(
+                f"cluster {self.name!r} uses static modulo placement; "
+                "elastic membership requires placement='ring'")
+        if (add is None) == (remove is None):
+            raise ReproError("specify exactly one of add= or remove=")
+        if add is not None:
+            return self.partitioner.with_owner(add)
+        return self.partitioner.without_owner(remove)
+
+    # -- membership (called via ClusterConfig so config caches flush too) ------
+    def _add_server(self, server: str) -> None:
+        if server in self.servers:
+            raise ReproError(f"server {server!r} already in cluster {self.name!r}")
+        self.servers.append(server)
+        self._rebuild_partitioner()
+        self.invalidate()
+
+    def _remove_server(self, server: str) -> None:
+        if server not in self.servers:
+            raise ReproError(f"server {server!r} not in cluster {self.name!r}")
+        if len(self.servers) == 1:
+            raise ReproError(
+                f"cannot remove the last server of cluster {self.name!r}")
+        self.servers.remove(server)
+        self._rebuild_partitioner()
+        self.invalidate()
+
+    def invalidate(self) -> None:
+        """Drop memoized owner lookups (topology changed under them)."""
+        self._owner_cache.clear()
 
 
 class ClusterConfig:
@@ -56,9 +132,13 @@ class ClusterConfig:
         self.clusters: List[Cluster] = list(clusters)
         self._by_name: Dict[str, Cluster] = {c.name: c for c in clusters}
         self._server_to_cluster: Dict[str, str] = {}
-        # Placement is immutable after construction, so every query below is
-        # memoized per key.  Cached lists are shared — callers must not
-        # mutate them (they only iterate and membership-test today).
+        #: Membership epoch: bumped by every invalidation, so components
+        #: that memoize placement externally can tag entries with it.
+        self.epoch = 0
+        # Placement is memoized per key; any membership change invalidates
+        # every cache below (see invalidate()).  Cached lists are shared —
+        # callers must not mutate them (they only iterate and
+        # membership-test today).
         self._replicas_cache: Dict[str, List[str]] = {}
         self._master_cache: Dict[str, str] = {}
         self._peers_cache: Dict[tuple, List[str]] = {}
@@ -89,6 +169,36 @@ class ClusterConfig:
     def cluster_names(self) -> List[str]:
         return [c.name for c in self.clusters]
 
+    # -- membership -----------------------------------------------------------
+    def invalidate(self) -> None:
+        """Flush every memoized placement answer and bump the epoch.
+
+        Must be called (and is, by :meth:`add_server`/:meth:`remove_server`)
+        whenever any cluster's server list changes: the per-key caches here
+        and the per-cluster owner caches all hold pre-change routing.
+        """
+        self.epoch += 1
+        self._replicas_cache.clear()
+        self._master_cache.clear()
+        self._peers_cache.clear()
+        for cluster in self.clusters:
+            cluster.invalidate()
+
+    def add_server(self, cluster_name: str, server: str) -> None:
+        """Add ``server`` to a cluster and flush all placement caches."""
+        if server in self._server_to_cluster:
+            raise ReproError(f"server {server!r} appears in two clusters")
+        self.cluster(cluster_name)._add_server(server)
+        self._server_to_cluster[server] = cluster_name
+        self.invalidate()
+
+    def remove_server(self, server: str) -> None:
+        """Remove ``server`` from its cluster and flush all placement caches."""
+        cluster_name = self.cluster_of_server(server)
+        self.cluster(cluster_name)._remove_server(server)
+        del self._server_to_cluster[server]
+        self.invalidate()
+
     # -- placement -----------------------------------------------------------------
     def replicas_for(self, key: str) -> List[str]:
         """One replica per cluster: the key's partition owner in each."""
@@ -107,6 +217,17 @@ class ClusterConfig:
 
         The master is one of the key's replicas, selected deterministically
         from the key hash so that all clients agree without coordination.
+
+        Re-designation story: while the master's node is merely *crashed*
+        or partitioned away, ``master_for`` keeps answering the same server
+        — mastership is a placement fact, not a liveness fact, so the key
+        is explicitly unavailable to master-routed clients until the node
+        recovers (the paper's Table 3 unavailability, and what the
+        availability experiments measure).  Only a *membership* change
+        (:meth:`remove_server` — a decommission or ring departure)
+        re-designates: the epoch flip drops the departed node from the
+        key's replica list and the same deterministic rule elects a new
+        master from the survivors, again with no coordination.
         """
         cached = self._master_cache.get(key)
         if cached is None:
@@ -133,6 +254,8 @@ def build_cluster_config(
     regions: Sequence[str],
     servers_per_cluster: int,
     cluster_prefix: str = "cluster",
+    placement: str = "modulo",
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES,
 ) -> ClusterConfig:
     """Convenience constructor: one cluster per region, N servers each.
 
@@ -145,5 +268,7 @@ def build_cluster_config(
     for index, region in enumerate(regions):
         name = f"{cluster_prefix}{index}-{region}"
         servers = [f"{name}-s{i}" for i in range(servers_per_cluster)]
-        clusters.append(Cluster(name=name, region=region, servers=servers))
+        clusters.append(Cluster(name=name, region=region, servers=servers,
+                                placement=placement,
+                                virtual_nodes=virtual_nodes))
     return ClusterConfig(clusters)

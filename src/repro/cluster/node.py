@@ -161,6 +161,11 @@ class ServerNode:
     def queue_depth(self) -> int:
         return len(self._queue)
 
+    @property
+    def busy_workers(self) -> int:
+        """Requests currently being served (the membership drain waits on it)."""
+        return self._busy_workers
+
     def utilization(self, elapsed_ms: float) -> float:
         """Fraction of elapsed time the server spent serving requests."""
         if elapsed_ms <= 0:

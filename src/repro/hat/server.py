@@ -21,6 +21,8 @@ occupancy, which is where throughput saturation comes from.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from typing import Dict, List, Optional, Tuple
 
 from repro.cluster.config import ClusterConfig
@@ -32,6 +34,18 @@ from repro.replication.lockmanager import LockManager
 from repro.sim import Environment
 from repro.storage.lsm import LSMCostModel
 from repro.storage.records import Timestamp, Version
+
+
+@dataclass(slots=True)
+class HandoffStats:
+    """Counters for membership handoff traffic through this server."""
+
+    fetches_served: int = 0
+    offers_received: int = 0
+    versions_sent: int = 0
+    versions_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
 
 
 class HATServer(ServerNode):
@@ -57,6 +71,7 @@ class HATServer(ServerNode):
         self.locks = LockManager()
         self._prepared: Dict[int, List[Version]] = {}
         self.anti_entropy = AntiEntropyService(env, self, config, anti_entropy)
+        self.handoff = HandoffStats()
 
         self.register_handler("ru.put", self._handle_ru_put)
         self.register_handler("ru.get", self._handle_ru_get)
@@ -76,6 +91,8 @@ class HATServer(ServerNode):
         self.register_handler("quorum.put", self._handle_ru_put)
         self.register_handler("quorum.get", self._handle_ru_get)
         self.register_handler("ae.push", self._handle_ae_push)
+        self.register_handler("handoff.fetch", self._handle_handoff_fetch)
+        self.register_handler("handoff.offer", self._handle_handoff_offer)
 
     # -- shared helpers ---------------------------------------------------------
     def _durable_write_cost(self, size_bytes: int) -> float:
@@ -248,6 +265,47 @@ class HATServer(ServerNode):
         txn_id = message.payload["txn_id"]
         self._prepared.pop(txn_id, None)
         return {"aborted": True, "txn_id": txn_id}, 0.02
+
+    # -- membership handoff ---------------------------------------------------------------
+    def _handle_handoff_fetch(self, message: Message) -> Tuple[dict, float]:
+        """Stream the version history a joining server is owed.
+
+        The joiner sends a predicate describing the key range it will own
+        under the pending ring; this (prior) owner replies with every
+        retained version of the matching keys, plus its full key list so
+        the coordinator can measure the moved fraction against the
+        cluster's actual population.  The reply is a consistent scan of
+        current state — writes accepted afterwards are repaired at the
+        epoch flip by re-dirtying the moved keys for anti-entropy.
+        """
+        predicate = message.payload["predicate"]
+        store = self.store.data
+        all_keys = sorted(store.keys())
+        versions: List[Version] = []
+        for key in all_keys:
+            if predicate(key):
+                versions.extend(store.versions(key))
+        self.handoff.fetches_served += 1
+        self.handoff.versions_sent += len(versions)
+        self.handoff.bytes_sent += (
+            self.anti_entropy.settings.bytes_per_version * len(versions))
+        # Cost model: one memtable/SSTable read per streamed key batch.
+        cost = 0.02 * max(1, len(versions))
+        return {"versions": versions, "all_keys": all_keys}, cost
+
+    def _handle_handoff_offer(self, message: Message) -> Tuple[dict, float]:
+        """Absorb version history handed off by a leaving server."""
+        versions: List[Version] = message.payload["versions"]
+        cost = 0.0
+        for version in versions:
+            if version.siblings:
+                cost += self._accept_mav_write(version, 1024)
+            else:
+                cost += self._install(version, 1024, durable=self.durable)
+        self.handoff.offers_received += 1
+        self.handoff.versions_received += len(versions)
+        self.handoff.bytes_received += int(message.payload.get("size_bytes", 0))
+        return {"ok": True, "count": len(versions)}, cost
 
     # -- anti-entropy -----------------------------------------------------------------------------
     def _handle_ae_push(self, message: Message) -> Tuple[None, float]:

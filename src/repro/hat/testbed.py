@@ -17,10 +17,13 @@ from typing import Dict, List, Optional
 from repro.cluster.client import ClientNode
 from repro.cluster.config import ClusterConfig, build_cluster_config
 from repro.cluster.node import ServiceCostModel
+from repro.errors import ReproError
 from repro.hat.clients import ProtocolClient, build_client
 from repro.hat.cut_isolation import CutIsolationClient
 from repro.hat.server import HATServer
 from repro.hat.sessions import SessionClient
+from repro.membership.coordinator import MembershipCoordinator, MembershipEvent
+from repro.membership.ring import DEFAULT_VIRTUAL_NODES
 from repro.net.latency import EC2LatencyModel, FixedLatencyModel, LatencyModel
 from repro.net.network import Network
 from repro.net.partitions import PartitionManager
@@ -46,6 +49,10 @@ class Scenario:
     seed: int = 0
     durable: bool = True
     anti_entropy_interval_ms: float = 10.0
+    #: Cap on dirty versions each anti-entropy round processes (None keeps
+    #: the historical flush-everything behaviour); elastic scenarios bound
+    #: it so handoff/heal catch-up bursts do not saturate replicas.
+    anti_entropy_max_per_round: Optional[int] = None
     #: Versions retained per key on every server (None = unbounded).  The
     #: default bounds replica memory in long chaos runs — servers used to
     #: keep every version forever — while staying deep enough that
@@ -56,6 +63,14 @@ class Scenario:
     lsm_cost: LSMCostModel = field(default_factory=LSMCostModel)
     #: Use a constant-latency network instead of the EC2 model (unit tests).
     fixed_latency_ms: Optional[float] = None
+    #: ``"modulo"`` keeps the paper's static hash placement (byte-identical
+    #: to every pre-elasticity figure); ``"ring"`` switches clusters to the
+    #: consistent-hash ring, which elastic membership requires.
+    placement: str = "modulo"
+    virtual_nodes: int = DEFAULT_VIRTUAL_NODES
+    #: Membership timeline: join/leave events the coordinator schedules on
+    #: the sim clock at build time (requires ``placement="ring"``).
+    membership: List[MembershipEvent] = field(default_factory=list)
 
     def cluster_regions(self) -> List[str]:
         """One entry per cluster (regions repeated ``clusters_per_region`` times)."""
@@ -80,6 +95,10 @@ class Testbed:
         self.servers = servers
         self.streams = streams
         self.clients: List[ProtocolClient] = []
+        #: Servers decommissioned by the membership coordinator, kept for
+        #: post-run inspection (they are unregistered and never serve again).
+        self.retired: Dict[str, HATServer] = {}
+        self.membership = MembershipCoordinator(self)
 
     # -- client construction -----------------------------------------------------------
     def make_client(self, protocol: str, home_cluster: Optional[str] = None,
@@ -129,6 +148,46 @@ class Testbed:
                     protocol, home_cluster=cluster_name, recorder=recorder, **kwargs
                 ))
         return clients
+
+    # -- elastic membership ------------------------------------------------------------
+    def add_server(self, cluster_name: str, server_name: Optional[str] = None) -> HATServer:
+        """Build and register a new server for ``cluster_name``.
+
+        The server is placed in the cluster's zone, registered on the
+        network, and returned *without* being added to the cluster config —
+        clients route to it only once the membership coordinator flips the
+        epoch (after handoff catch-up).  Its anti-entropy service is not
+        started either; the coordinator starts it at the flip.
+        """
+        cluster = self.config.cluster(cluster_name)
+        if server_name is None:
+            index = len(cluster.servers)
+            while (f"{cluster_name}-s{index}" in self.servers
+                   or f"{cluster_name}-s{index}" in self.retired):
+                index += 1
+            server_name = f"{cluster_name}-s{index}"
+        if server_name in self.servers or server_name in self.retired:
+            raise ReproError(f"server name {server_name!r} already in use")
+        zone = self.topology.site(cluster.servers[0]).zone
+        self.topology.add_site(server_name, region=cluster.region, zone=zone)
+        server = HATServer(
+            self.env, self.network, server_name, self.config,
+            cost_model=self.scenario.service_cost,
+            lsm_cost=self.scenario.lsm_cost,
+            anti_entropy=AntiEntropyConfig(
+                interval_ms=self.scenario.anti_entropy_interval_ms,
+                max_versions_per_round=self.scenario.anti_entropy_max_per_round),
+            durable=self.scenario.durable,
+            keep_versions=self.scenario.keep_versions,
+        )
+        self.servers[server_name] = server
+        return server
+
+    def retire_server(self, server_name: str) -> None:
+        """Move a decommissioned server out of the active server map."""
+        server = self.servers.pop(server_name, None)
+        if server is not None:
+            self.retired[server_name] = server
 
     # -- failure injection -------------------------------------------------------------
     def partition_regions(self, groups: List[List[str]]) -> None:
@@ -186,7 +245,9 @@ def build_testbed(scenario: Scenario) -> Testbed:
     topology = Topology()
 
     cluster_regions = scenario.cluster_regions()
-    config = build_cluster_config(cluster_regions, scenario.servers_per_cluster)
+    config = build_cluster_config(cluster_regions, scenario.servers_per_cluster,
+                                  placement=scenario.placement,
+                                  virtual_nodes=scenario.virtual_nodes)
 
     # Register every server site: each cluster lives in one availability zone
     # of its region; distinct clusters in the same region use distinct zones.
@@ -206,7 +267,9 @@ def build_testbed(scenario: Scenario) -> Testbed:
                       partitions=PartitionManager())
 
     servers: Dict[str, HATServer] = {}
-    ae_config = AntiEntropyConfig(interval_ms=scenario.anti_entropy_interval_ms)
+    ae_config = AntiEntropyConfig(
+        interval_ms=scenario.anti_entropy_interval_ms,
+        max_versions_per_round=scenario.anti_entropy_max_per_round)
     for cluster in config.clusters:
         for server_name in cluster.servers:
             server = HATServer(
@@ -220,4 +283,13 @@ def build_testbed(scenario: Scenario) -> Testbed:
             server.anti_entropy.start()
             servers[server_name] = server
 
-    return Testbed(scenario, env, topology, network, config, servers, streams)
+    testbed = Testbed(scenario, env, topology, network, config, servers, streams)
+    if scenario.membership:
+        # Validates placement eagerly: a join against modulo placement has
+        # no minimal-disruption pending ring to hand off against.
+        if scenario.placement != "ring":
+            raise ReproError(
+                "Scenario.membership requires placement='ring' "
+                f"(got {scenario.placement!r})")
+        testbed.membership.schedule(scenario.membership)
+    return testbed

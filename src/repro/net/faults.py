@@ -113,6 +113,18 @@ class FaultSchedule:
                   self.testbed.servers[server].recover)
         return self
 
+    def scale_out(self, at_ms: float, cluster: str) -> "FaultSchedule":
+        """Join a new server to ``cluster`` at ``at_ms`` (live rebalance)."""
+        self._add(at_ms, "scale-out", f"scale out {cluster}",
+                  lambda: self.testbed.membership.scale_out(cluster))
+        return self
+
+    def scale_in(self, at_ms: float, cluster: str) -> "FaultSchedule":
+        """Decommission one server of ``cluster`` at ``at_ms`` (drain first)."""
+        self._add(at_ms, "scale-in", f"scale in {cluster}",
+                  lambda: self.testbed.membership.scale_in(cluster))
+        return self
+
     def _add(self, at_ms: float, kind: str, description: str,
              apply: Callable[[], None]) -> None:
         if at_ms < 0:

@@ -15,7 +15,7 @@ relative throughput drops as clusters are added.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, List, Optional, TYPE_CHECKING
 
 from repro.cluster.config import ClusterConfig
 from repro.sim import Environment
@@ -35,6 +35,12 @@ class AntiEntropyConfig:
     batch_size: int = 256
     #: Approximate wire size per pushed version (1 KB value + metadata).
     bytes_per_version: int = 1100
+    #: Cap on dirty entries *processed* per round (None = all).  Bounding
+    #: it spreads a post-partition or post-rebalance catch-up backlog over
+    #: several rounds instead of saturating the receiving replicas with
+    #: one giant install burst; elastic scenarios set it, the default
+    #: keeps the historical flush-everything behaviour.
+    max_versions_per_round: Optional[int] = None
 
 
 @dataclass(slots=True)
@@ -61,14 +67,36 @@ class AntiEntropyService:
         self.config = config
         self.settings = settings or AntiEntropyConfig()
         self.stats = AntiEntropyStats()
-        #: Versions accepted locally but not yet pushed, in arrival order.
-        self._dirty: List[Version] = []
+        #: Versions accepted locally but not yet fully pushed, in arrival
+        #: order.  Each entry is ``(version, delivered_peers)``:
+        #: ``None``/empty means no peer has received it yet (the fresh-mark
+        #: case); a tuple lists peers that already got it, so a version
+        #: partitioned away from one peer is not re-pushed to the others on
+        #: every subsequent round.  The peers *owed* are always recomputed
+        #: from the live config, so a membership epoch change re-targets a
+        #: deferred push at the key's current owners.
+        self._dirty: List[tuple] = []
         self._running = False
 
     # -- dirty tracking ---------------------------------------------------------
-    def mark_dirty(self, version: Version) -> None:
-        """Record a locally accepted version for the next push round."""
-        self._dirty.append(version)
+    def mark_dirty(self, version: Version, delivered=None) -> None:
+        """Record a locally accepted version for the next push round.
+
+        ``delivered`` (optional) names peers that already hold the version,
+        so a targeted repair (e.g. the membership coordinator owing only a
+        fresh joiner) does not re-broadcast to every replica.
+        """
+        self._dirty.append((version, tuple(delivered) if delivered else None))
+
+    def take_pending(self) -> List[tuple]:
+        """Remove and return the undelivered entries (decommission handoff).
+
+        A leaving server's unpushed obligations must outlive it: the
+        membership coordinator drains these and re-marks them on the keys'
+        successors before the leaver departs.
+        """
+        pending, self._dirty = self._dirty, []
+        return pending
 
     # -- lifecycle -------------------------------------------------------------
     def start(self) -> None:
@@ -88,7 +116,7 @@ class AntiEntropyService:
         self._push_dirty()
         self.env.schedule(self.settings.interval_ms, self._round)
 
-    def _coalesce(self, dirty: List[Version]) -> List[Version]:
+    def _coalesce(self, dirty: List[tuple]) -> List[tuple]:
         """Drop versions superseded by a later version of the same key.
 
         Under last-writer-wins every *visible* read on the peer resolves to
@@ -106,19 +134,20 @@ class AntiEntropyService:
         if len(dirty) < 2:
             return dirty
         newest: Dict[str, Version] = {}
-        for version in dirty:
+        for version, _owed in dirty:
             if version.siblings:
                 continue
             current = newest.get(version.key)
             if current is None or version.timestamp > current.timestamp:
                 newest[version.key] = version
-        kept: List[Version] = []
+        kept: List[tuple] = []
         coalesced = 0
-        for version in dirty:
+        for entry in dirty:
+            version = entry[0]
             if not version.siblings and newest[version.key] is not version:
                 coalesced += 1
                 continue
-            kept.append(version)
+            kept.append(entry)
         if coalesced:
             self.stats.versions_coalesced += coalesced
         return kept
@@ -129,20 +158,33 @@ class AntiEntropyService:
         self.stats.rounds += 1
         batches: Dict[str, List[Version]] = {}
         dirty, self._dirty = self._coalesce(self._dirty), []
+        cap = self.settings.max_versions_per_round
+        if cap is not None and len(dirty) > cap:
+            self._dirty = dirty[cap:]
+            dirty = dirty[:cap]
         partitions = self.server.network.partitions
-        retry: List[Version] = []
-        for version in dirty:
+        retry: List[tuple] = []
+        for version, delivered in dirty:
+            # The owed set is the key's *current* peer replicas (recomputed
+            # every round, so membership epoch changes re-target deferred
+            # pushes at the live owners) minus the peers that already got
+            # this version (so a partition-stranded entry never re-sends to
+            # the reachable side on every round).
+            peers = self.config.peer_replicas(version.key, self.server.name)
             deferred = False
-            for peer in self.config.peer_replicas(version.key, self.server.name):
+            for peer in peers:
+                if delivered is not None and peer in delivered:
+                    continue
                 if not partitions.connected(self.server.name, peer):
-                    # The peer is unreachable: keep the version dirty so it is
-                    # pushed once the partition heals (epidemic repair).
+                    # The peer is unreachable: keep the version dirty so it
+                    # is pushed once the partition heals (epidemic repair).
                     deferred = True
                     continue
                 batch = batches.setdefault(peer, [])
                 batch.append(version)
+                delivered = (*(delivered or ()), peer)
             if deferred:
-                retry.append(version)
+                retry.append((version, delivered))
         self._dirty.extend(retry)
         for peer, versions in batches.items():
             for start in range(0, len(versions), self.settings.batch_size):

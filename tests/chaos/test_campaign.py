@@ -256,3 +256,91 @@ class TestCompile:
             CampaignAction(at_ms=0.0, kind="meteor-strike"),), phases=())
         with pytest.raises(CampaignError):
             compile_campaign(campaign, testbed)
+
+
+class TestMembershipActions:
+    """The scale-out/scale-in/rebalance-storm campaign family."""
+
+    def test_negative_membership_counts_rejected(self):
+        for name in ("scale_outs", "scale_ins", "rebalance_storms"):
+            with pytest.raises(CampaignError):
+                CampaignSpec(**{name: -1})
+
+    def test_bad_storm_knobs_rejected(self):
+        with pytest.raises(CampaignError):
+            CampaignSpec(storm_cycles=0)
+        with pytest.raises(CampaignError):
+            CampaignSpec(storm_period_ms=0.0)
+        with pytest.raises(CampaignError):
+            CampaignSpec(rebalance_phase_ms=(0.0, 100.0))
+
+    def test_membership_events_require_cluster_names(self):
+        spec = CampaignSpec(scale_outs=1)
+        with pytest.raises(CampaignError):
+            generate_campaign(spec, REGIONS, ["s0", "s1"], seed=0)
+
+    def test_generator_emits_membership_actions_and_phases(self):
+        from repro.chaos.campaign import SCALE_IN, SCALE_OUT
+
+        spec = CampaignSpec(duration_ms=12_000.0, partitions=0,
+                            scale_outs=1, scale_ins=1, rebalance_storms=1)
+        clusters = ["cluster0-VA", "cluster1-OR"]
+        campaign = generate_campaign(spec, REGIONS, ["s0", "s1"], seed=3,
+                                     clusters=clusters)
+        outs = [a for a in campaign.actions if a.kind == SCALE_OUT]
+        ins = [a for a in campaign.actions if a.kind == SCALE_IN]
+        # One standalone join, one standalone leave, plus storm cycles.
+        assert len(outs) >= 2 and len(ins) >= 2
+        assert all(a.target in clusters for a in outs + ins)
+        labels = {p.name.split("-")[0] for p in campaign.phases}
+        assert "storm" in labels
+        # Determinism: same seed, same campaign.
+        again = generate_campaign(spec, REGIONS, ["s0", "s1"], seed=3,
+                                  clusters=clusters)
+        assert campaign == again
+
+    def test_membership_campaign_compiles_and_drives_the_coordinator(self):
+        spec = CampaignSpec(duration_ms=3_000.0, partitions=0, scale_outs=1,
+                            rebalance_phase_ms=(500.0, 800.0))
+        scenario = Scenario(regions=["VA"], servers_per_cluster=2,
+                            placement="ring", fixed_latency_ms=1.0)
+        testbed = build_testbed(scenario)
+        campaign = generate_campaign(spec, ["VA"], testbed.config.all_servers,
+                                     seed=0, clusters=testbed.config.cluster_names)
+        compile_campaign(campaign, testbed).install()
+        testbed.run(3_000.0)
+        records = testbed.membership.records
+        assert [r.kind for r in records] == ["join"]
+        assert records[0].done
+        assert len(testbed.config.clusters[0].servers) == 3
+
+
+class TestElasticityCampaign:
+    def test_five_phases_in_order(self):
+        from repro.chaos.campaign import canonical_elasticity_campaign
+
+        campaign = canonical_elasticity_campaign(REGIONS, cluster="c0")
+        assert [p.name for p in campaign.phases] == [
+            "baseline", "scale-out", "partitioned-rebalance",
+            "scale-in", "recovered"]
+        ends = [p.end_ms for p in campaign.phases]
+        starts = [p.start_ms for p in campaign.phases]
+        assert starts[1:] == ends[:-1]  # contiguous
+        assert campaign.duration_ms == ends[-1]
+
+    def test_rebalance_happens_inside_the_partition(self):
+        from repro.chaos.campaign import (
+            SCALE_OUT, canonical_elasticity_campaign)
+
+        campaign = canonical_elasticity_campaign(REGIONS, cluster="c0")
+        partition = next(p for p in campaign.phases
+                         if p.name == "partitioned-rebalance")
+        mid_joins = [a for a in campaign.actions if a.kind == SCALE_OUT
+                     and partition.contains(a.at_ms)]
+        assert len(mid_joins) == 1
+
+    def test_needs_two_regions(self):
+        from repro.chaos.campaign import canonical_elasticity_campaign
+
+        with pytest.raises(CampaignError):
+            canonical_elasticity_campaign(["VA"], cluster="c0")

@@ -21,11 +21,13 @@ EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
 #: Flags that shrink a script's runtime where the script supports them.
 QUICK_FLAGS = {
     "availability_under_partitions.py": ["--quick"],
+    "elastic_scale_out.py": ["--quick"],
 }
 
 #: Artifacts a script is expected to leave in its working directory.
 EXPECTED_ARTIFACTS = {
     "availability_under_partitions.py": ["availability.json"],
+    "elastic_scale_out.py": ["elasticity.json"],
 }
 
 

@@ -9,7 +9,11 @@ functions of their seeds, down to float equality (not approx).
 
 from hypothesis import given, settings, strategies as st
 
-from repro.bench.experiments import figure3_geo_replication, tpcc_sim_experiment
+from repro.bench.experiments import (
+    elasticity_experiment,
+    figure3_geo_replication,
+    tpcc_sim_experiment,
+)
 from repro.bench.parallel import run_configs
 from repro.bench.runner import RunConfig, run_workload
 from repro.chaos.campaign import CampaignSpec, generate_campaign
@@ -122,3 +126,26 @@ class TestParallelDeterminism:
             assert a.stats == b.stats
             assert a.anomalies.as_dict() == b.anomalies.as_dict()
             assert a.committed_by_type == b.committed_by_type
+
+    def test_elasticity_parallel_matches_sequential(self):
+        """The elasticity sweep — membership churn included — must be
+        bit-identical sequential versus --jobs 2: rebalance records,
+        per-window availability, and aggregate stats all match exactly."""
+        kwargs = dict(protocols=("eventual", "master"),
+                      baseline_ms=300.0, scale_out_ms=500.0,
+                      partition_ms=700.0, scale_in_ms=500.0,
+                      recovery_ms=300.0, window_ms=250.0)
+        sequential = elasticity_experiment(**kwargs)
+        parallel = elasticity_experiment(**kwargs, jobs=2)
+        for a, b in zip(sequential, parallel):
+            assert a.protocol == b.protocol
+            assert a.stats == b.stats
+            assert a.campaign == b.campaign
+            assert a.anomalies == b.anomalies
+            assert ([r.as_dict() for r in a.rebalances]
+                    == [r.as_dict() for r in b.rebalances])
+            for group in a.groups:
+                assert (a.phase_availability(group)
+                        == b.phase_availability(group))
+                assert ([w.as_dict() for w in a.groups[group].windows]
+                        == [w.as_dict() for w in b.groups[group].windows])

@@ -19,6 +19,11 @@ def _version(key: str, sequence: int, siblings=()) -> Version:
                    siblings=frozenset(siblings))
 
 
+def _entry(key: str, sequence: int, siblings=()) -> tuple:
+    # Dirty-set entries are (version, delivered_peers); None = fresh mark.
+    return (_version(key, sequence, siblings), None)
+
+
 def _service(testbed) -> AntiEntropyService:
     return next(iter(testbed.servers.values())).anti_entropy
 
@@ -26,27 +31,27 @@ def _service(testbed) -> AntiEntropyService:
 class TestCoalescing:
     def test_superseded_versions_are_dropped(self, small_testbed):
         service = _service(small_testbed)
-        kept = service._coalesce([_version("k", 1), _version("k", 2),
-                                  _version("k", 3)])
-        assert [v.timestamp.sequence for v in kept] == [3]
+        kept = service._coalesce([_entry("k", 1), _entry("k", 2),
+                                  _entry("k", 3)])
+        assert [v.timestamp.sequence for v, _owed in kept] == [3]
         assert service.stats.versions_coalesced == 2
 
     def test_latest_version_survives_regardless_of_order(self, small_testbed):
         service = _service(small_testbed)
-        kept = service._coalesce([_version("k", 5), _version("k", 2)])
-        assert [v.timestamp.sequence for v in kept] == [5]
+        kept = service._coalesce([_entry("k", 5), _entry("k", 2)])
+        assert [v.timestamp.sequence for v, _owed in kept] == [5]
 
     def test_distinct_keys_are_untouched(self, small_testbed):
         service = _service(small_testbed)
-        dirty = [_version("a", 1), _version("b", 2)]
+        dirty = [_entry("a", 1), _entry("b", 2)]
         assert service._coalesce(dirty) == dirty
         assert service.stats.versions_coalesced == 0
 
     def test_mav_versions_always_propagate(self, small_testbed):
         """Sibling-carrying writes are never coalesced (stability acks)."""
         service = _service(small_testbed)
-        dirty = [_version("k", 1, siblings=("k", "j")),
-                 _version("k", 2, siblings=("k", "j"))]
+        dirty = [_entry("k", 1, siblings=("k", "j")),
+                 _entry("k", 2, siblings=("k", "j"))]
         assert service._coalesce(dirty) == dirty
         assert service.stats.versions_coalesced == 0
 

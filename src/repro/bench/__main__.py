@@ -21,6 +21,7 @@ from typing import Callable, Dict, Optional
 from repro.bench.experiments import (
     AVAILABILITY_PROTOCOLS,
     ELASTICITY_PROTOCOLS,
+    SATURATION_PROTOCOLS,
     TPCC_SIM_PROTOCOLS,
     availability_experiment,
     composite_guarantee_sweep,
@@ -29,6 +30,7 @@ from repro.bench.experiments import (
     figure4_transaction_length,
     figure5_write_proportion,
     figure6_scale_out,
+    saturation_experiment,
     tpcc_sim_experiment,
 )
 from repro.bench.report import (
@@ -37,8 +39,10 @@ from repro.bench.report import (
     format_availability,
     format_elasticity,
     format_latency_and_throughput,
+    format_saturation,
     format_series,
     format_tpcc_sim,
+    saturation_report_json,
     tpcc_sim_report_json,
 )
 from repro.net.measurement import (
@@ -162,13 +166,25 @@ def _tpcc_sim(quick: bool, jobs=None):
 def _perf(quick: bool, jobs=None):
     """Wall-clock perf artifact: how fast the simulator itself runs.
 
-    Always sequential — wall-clock numbers are meaningless when cases
-    compete for cores — so ``--jobs`` is deliberately ignored here.
+    The canonical matrix always runs sequentially — wall-clock numbers are
+    meaningless when cases compete for cores.  ``--jobs`` instead selects
+    the worker count for the *scaling* measurement appended afterwards: the
+    same runs sequentially versus through the sweep executor's process
+    pool, reporting the measured speedup and per-worker wall time.
     """
-    from repro.bench.perf import format_perf, perf_report_json, run_perf_matrix
+    from repro.bench.perf import (
+        format_perf,
+        format_speedup,
+        measure_parallel_speedup,
+        perf_report_json,
+        run_perf_matrix,
+    )
 
     results = run_perf_matrix(quick=quick)
-    return format_perf(results), perf_report_json(results)
+    speedup = measure_parallel_speedup(
+        jobs=jobs, duration_ms=200.0 if quick else 600.0)
+    return (format_perf(results) + "\n\n" + format_speedup(speedup),
+            perf_report_json(results, speedup=speedup))
 
 
 def _availability(quick: bool, jobs=None):
@@ -207,6 +223,28 @@ def _elasticity(quick: bool, jobs=None):
     return format_elasticity(results), elasticity_report_json(results)
 
 
+def _saturation(quick: bool, jobs=None):
+    """Open-loop saturation artifact: the knee, tail latency, drain time.
+
+    Each protocol gets an offered-load ramp over a bounded session pool —
+    10^5 logical users even in quick mode, at O(pool) memory — and then a
+    fixed-rate run through the canonical partition campaign, measuring how
+    long the backlog built while dark takes to drain after heal.
+    """
+    results = saturation_experiment(
+        protocols=SATURATION_PROTOCOLS,
+        users=100_000 if quick else 1_000_000,
+        ramp_peak_rate_s=500.0 if quick else 600.0,
+        ramp_ms=2_500.0 if quick else 6_000.0,
+        baseline_ms=1_000.0 if quick else 1_500.0,
+        partition_ms=2_000.0 if quick else 3_000.0,
+        recovery_ms=4_000.0 if quick else 5_000.0,
+        window_ms=250.0 if quick else 500.0,
+        jobs=jobs,
+    )
+    return format_saturation(results), saturation_report_json(results)
+
+
 ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "table1": _table1,
     "table2": _table2,
@@ -221,6 +259,7 @@ ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "tpcc-sim": _tpcc_sim,
     "availability": _availability,
     "elasticity": _elasticity,
+    "saturation": _saturation,
     "perf": _perf,
 }
 
@@ -244,7 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write <DIR>/<artifact>.json for artifacts "
                              "with a JSON form (currently: availability, "
-                             "elasticity, tpcc-sim, perf)")
+                             "elasticity, saturation, tpcc-sim, perf)")
     return parser
 
 

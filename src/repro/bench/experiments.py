@@ -40,6 +40,13 @@ from repro.chaos.telemetry import (
 from repro.errors import ReproError
 from repro.hat.protocols import EVENTUAL, MASTER, MAV, QUORUM, READ_COMMITTED
 from repro.hat.testbed import FIVE_REGION_DEPLOYMENT, Scenario, build_testbed
+from repro.loadgen import (
+    OpenLoopConfig,
+    OpenLoopStats,
+    PoissonArrivals,
+    RampArrivals,
+    run_open_loop,
+)
 from repro.workloads.base import run_preload
 from repro.workloads.tpcc import TPCCConfig
 from repro.workloads.tpcc_audit import TPCCAnomalyReport, audit_tpcc_history
@@ -78,6 +85,11 @@ ELASTICITY_PROTOCOLS = (EVENTUAL, READ_COMMITTED, MAV, "causal",
 #: Anomalies counted on elasticity histories: dirty writes, aborted reads,
 #: and eventual's signature Item-Many-Preceders.
 ELASTICITY_ANOMALIES = ("G0", "G1a", "IMP")
+
+#: Protocols swept by the saturation experiment: the registry's HAT stacks
+#: against the coordinated baselines whose longer commit paths pull the
+#: knee down (``lock-sr`` is the serializable 2PL baseline).
+SATURATION_PROTOCOLS = (EVENTUAL, "causal", "mav+causal", MASTER, "lock-sr")
 
 
 @dataclass
@@ -708,3 +720,242 @@ def elasticity_experiment(
               scale_in_ms, recovery_ms, window_ms, slo, workload, seed)
              for protocol in protocols]
     return run_tasks(_elasticity_protocol_run, tasks, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Saturation: open-loop offered-load ramps and post-heal backlog drain
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SaturationWindow:
+    """One telemetry window of the ramp, merged over all client regions."""
+
+    index: int
+    start_ms: float
+    end_ms: float
+    offered: int
+    committed: int
+    aborted: int
+    #: Summed per-region peak backlog (queued + in flight) in the window.
+    queue_depth: int
+
+    @property
+    def offered_rate_s(self) -> float:
+        span_ms = max(self.end_ms - self.start_ms, 1e-9)
+        return 1000.0 * self.offered / span_ms
+
+    @property
+    def committed_rate_s(self) -> float:
+        span_ms = max(self.end_ms - self.start_ms, 1e-9)
+        return 1000.0 * self.committed / span_ms
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "index": self.index,
+            "start_ms": self.start_ms,
+            "end_ms": self.end_ms,
+            "offered": self.offered,
+            "committed": self.committed,
+            "aborted": self.aborted,
+            "queue_depth": self.queue_depth,
+            "offered_rate_s": self.offered_rate_s,
+            "committed_rate_s": self.committed_rate_s,
+        }
+
+
+@dataclass
+class SaturationResult:
+    """One protocol's offered-load ramp plus its partition-heal drain run."""
+
+    protocol: str
+    users: int
+    sessions: int
+    #: The healthy ramp run (offered load swept past the knee).
+    ramp: OpenLoopStats
+    #: Per-window offered/committed/backlog series, merged across regions.
+    windows: List[SaturationWindow]
+    #: Max windowed committed rate — the sustainable-throughput knee.
+    knee_txn_s: float
+    #: Offered rate of the first window whose backlog exceeded twice the
+    #: session count — where the open queue visibly starts growing.  None
+    #: means the ramp never drove this protocol into overload.
+    overload_offered_s: Optional[float]
+    #: Arrival-to-commit quantiles under the ramp (None with no commits).
+    p50_ms: Optional[float]
+    p99_ms: Optional[float]
+    p999_ms: Optional[float]
+    #: The fixed-rate run through the canonical partition campaign.
+    heal: OpenLoopStats
+    heal_campaign: Campaign
+    #: Milliseconds after the partition healed until the backlog fell back
+    #: to the session count.  0 means it never built up (sticky-available
+    #: stacks); None means it never drained — the metastable signature.
+    drain_ms: Optional[float]
+    narration: List[NarrationEntry] = field(default_factory=list)
+
+
+def _merged_windows(groups: Dict[str, GroupTimeline]) -> List[SaturationWindow]:
+    """Sum the per-region window series into one cluster-wide series."""
+    timelines = list(groups.values())
+    if not timelines:
+        return []
+    merged = []
+    for index, window in enumerate(timelines[0].windows):
+        rows = [t.windows[index] for t in timelines]
+        merged.append(SaturationWindow(
+            index=index,
+            start_ms=window.start_ms,
+            end_ms=window.end_ms,
+            offered=sum(w.offered for w in rows),
+            committed=sum(w.committed for w in rows),
+            aborted=sum(w.external_aborts + w.internal_aborts for w in rows),
+            queue_depth=sum(w.queue_depth for w in rows),
+        ))
+    return merged
+
+
+def _saturation_protocol_run(
+    protocol: str,
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    users: int,
+    sessions_per_cluster: int,
+    ramp_start_rate_s: float,
+    ramp_peak_rate_s: float,
+    ramp_ms: float,
+    heal_rate_s: float,
+    baseline_ms: float,
+    partition_ms: float,
+    recovery_ms: float,
+    window_ms: float,
+    key_count: int,
+    seed: int,
+) -> SaturationResult:
+    """One protocol's ramp + heal runs (the parallel-sweep worker)."""
+    scenario = Scenario(regions=list(regions),
+                        servers_per_cluster=servers_per_cluster, seed=seed)
+    workload = YCSBConfig(key_count=key_count)
+
+    # Pass 1 — healthy ramp: offered load climbs linearly through the knee.
+    testbed = build_testbed(scenario)
+    telemetry = TimelineTelemetry(window_ms=window_ms)
+    ramp_stats = run_open_loop(
+        OpenLoopConfig(
+            protocol=protocol,
+            scenario=scenario,
+            arrivals=RampArrivals(ramp_start_rate_s, ramp_peak_rate_s,
+                                  ramp_ms),
+            workload=workload,
+            users=users,
+            sessions_per_cluster=sessions_per_cluster,
+            duration_ms=ramp_ms,
+            seed=seed,
+        ),
+        testbed=testbed, telemetry=telemetry)
+    windows = _merged_windows(telemetry.build())
+    knee_txn_s = max((w.committed_rate_s for w in windows), default=0.0)
+    sessions = ramp_stats.sessions
+    overload_offered_s = next(
+        (w.offered_rate_s for w in windows
+         if w.queue_depth > 2 * sessions), None)
+    digest = ramp_stats.digest
+    has_commits = digest.count > 0
+
+    # Pass 2 — fixed offered rate through partition and heal: an open-loop
+    # client keeps arriving at the same rate while the system is dark, so
+    # the backlog the partition built must drain after it heals (or not —
+    # the metastable case).
+    heal_testbed = build_testbed(scenario)
+    campaign = canonical_partition_campaign(
+        list(regions), baseline_ms=baseline_ms,
+        partition_ms=partition_ms, recovery_ms=recovery_ms)
+    nemesis = Nemesis(heal_testbed, campaign)
+    nemesis.install()
+    heal_start_ms = heal_testbed.env.now
+    # Bound how long a session wedges behind a reply the partition dropped;
+    # with the default 10 s deadlines one request could pin its session for
+    # the whole campaign.  The 2PL client waits on its own lock deadline, so
+    # it gets the same bound (only it accepts that keyword).
+    heal_client_kwargs: Dict[str, float] = {"rpc_timeout_ms": 2_000.0}
+    if protocol == "lock-sr":
+        heal_client_kwargs["lock_timeout_ms"] = 2_000.0
+    heal_stats = run_open_loop(
+        OpenLoopConfig(
+            protocol=protocol,
+            scenario=scenario,
+            arrivals=PoissonArrivals(heal_rate_s),
+            workload=workload,
+            users=users,
+            sessions_per_cluster=sessions_per_cluster,
+            duration_ms=campaign.duration_ms,
+            seed=seed + 1,
+            client_kwargs=heal_client_kwargs,
+        ),
+        testbed=heal_testbed)
+    heal_at_ms = heal_start_ms + baseline_ms + partition_ms
+    drain_ms: Optional[float] = None
+    for sample in heal_stats.backlog:
+        if sample.t_ms >= heal_at_ms and sample.backlog <= sessions:
+            drain_ms = sample.t_ms - heal_at_ms
+            break
+
+    return SaturationResult(
+        protocol=protocol,
+        users=users,
+        sessions=sessions,
+        ramp=ramp_stats,
+        windows=windows,
+        knee_txn_s=knee_txn_s,
+        overload_offered_s=overload_offered_s,
+        p50_ms=digest.quantile(0.5) if has_commits else None,
+        p99_ms=digest.quantile(0.99) if has_commits else None,
+        p999_ms=digest.quantile(0.999) if has_commits else None,
+        heal=heal_stats,
+        heal_campaign=campaign,
+        drain_ms=drain_ms,
+        narration=list(nemesis.log),
+    )
+
+
+def saturation_experiment(
+    protocols: Sequence[str] = SATURATION_PROTOCOLS,
+    regions: Sequence[str] = ("VA", "OR"),
+    servers_per_cluster: int = 2,
+    users: int = 1_000_000,
+    sessions_per_cluster: int = 4,
+    ramp_start_rate_s: float = 20.0,
+    ramp_peak_rate_s: float = 600.0,
+    ramp_ms: float = 6_000.0,
+    #: Per-cluster fixed rate of the heal pass — deliberately below every
+    #: protocol's healthy capacity, so backlog growth is attributable to
+    #: the partition rather than to standing overload.
+    heal_rate_s: float = 4.0,
+    baseline_ms: float = 1_500.0,
+    partition_ms: float = 3_000.0,
+    recovery_ms: float = 5_000.0,
+    window_ms: float = 500.0,
+    key_count: int = 10_000,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[SaturationResult]:
+    """Sweep protocol specs through an open-loop offered-load ramp.
+
+    Unlike the closed-loop figures — where ``users`` clients issue the next
+    transaction only after the previous reply, so offered load *falls* as the
+    system slows — the open-loop engine makes load an arrival process over a
+    bounded session pool: request rate is the traffic model's choice, and a
+    million logical users cost a pool's worth of memory.  Two passes per
+    protocol: a linear ramp past the saturation knee (max sustainable
+    committed rate, plus p50/p99/p999 of arrival-to-commit latency, queueing
+    included), then a fixed-rate run through the canonical partition
+    campaign measuring how long the backlog the partition built takes to
+    drain after heal.  With ``jobs=N`` protocols fan out across worker
+    processes; the merge is in input order, so results are bit-identical to
+    a sequential run.
+    """
+    tasks = [(protocol, regions, servers_per_cluster, users,
+              sessions_per_cluster, ramp_start_rate_s, ramp_peak_rate_s,
+              ramp_ms, heal_rate_s, baseline_ms, partition_ms, recovery_ms,
+              window_ms, key_count, seed)
+             for protocol in protocols]
+    return run_tasks(_saturation_protocol_run, tasks, jobs=jobs)

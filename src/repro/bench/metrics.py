@@ -7,6 +7,25 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+#: Below this many samples the summary is computed in pure Python: a numpy
+#: array allocation per tiny window costs more than it saves, and telemetry
+#: produces thousands of tiny windows per campaign.
+SMALL_SAMPLE_LIMIT = 64
+
+
+def _percentile(ordered: List[float], q: float) -> float:
+    """Linear-interpolation percentile over pre-sorted data.
+
+    The same definition as ``np.percentile``'s default method, so the small
+    and large paths agree.
+    """
+    position = (len(ordered) - 1) * q / 100.0
+    lower = int(position)
+    if lower >= len(ordered) - 1:
+        return ordered[-1]
+    fraction = position - lower
+    return ordered[lower] + (ordered[lower + 1] - ordered[lower]) * fraction
+
 
 @dataclass
 class LatencySummary:
@@ -25,10 +44,24 @@ class LatencySummary:
     maximum: Optional[float]
 
     @classmethod
+    def empty(cls) -> "LatencySummary":
+        return cls(count=0, mean=None, p50=None,
+                   p95=None, p99=None, maximum=None)
+
+    @classmethod
     def from_samples(cls, samples: List[float]) -> "LatencySummary":
         if not samples:
-            return cls(count=0, mean=None, p50=None,
-                       p95=None, p99=None, maximum=None)
+            return cls.empty()
+        if len(samples) <= SMALL_SAMPLE_LIMIT:
+            ordered = sorted(float(sample) for sample in samples)
+            return cls(
+                count=len(ordered),
+                mean=sum(ordered) / len(ordered),
+                p50=_percentile(ordered, 50),
+                p95=_percentile(ordered, 95),
+                p99=_percentile(ordered, 99),
+                maximum=ordered[-1],
+            )
         data = np.asarray(samples, dtype=float)
         return cls(
             count=int(data.size),
@@ -37,6 +70,26 @@ class LatencySummary:
             p95=float(np.percentile(data, 95)),
             p99=float(np.percentile(data, 99)),
             maximum=float(data.max()),
+        )
+
+    @classmethod
+    def from_digest(cls, digest) -> "LatencySummary":
+        """Summarize a streaming quantile sketch (duck-typed: anything with
+        ``count``/``mean``/``maximum`` and ``quantile(q)``, i.e. a
+        :class:`~repro.loadgen.sketch.LatencyDigest`).
+
+        Keeps the ``None``-for-empty contract: an empty digest summarizes
+        to all-``None`` statistics, exactly like an empty sample list.
+        """
+        if digest is None or digest.count == 0:
+            return cls.empty()
+        return cls(
+            count=int(digest.count),
+            mean=float(digest.mean),
+            p50=float(digest.quantile(0.5)),
+            p95=float(digest.quantile(0.95)),
+            p99=float(digest.quantile(0.99)),
+            maximum=float(digest.maximum),
         )
 
     def as_dict(self) -> Dict[str, Optional[float]]:

@@ -22,11 +22,13 @@ trajectory, one entry per PR.
 
 from __future__ import annotations
 
+import os
 import platform
 import time
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.bench.parallel import effective_jobs, run_tasks
 from repro.bench.runner import RunConfig, run_workload
 from repro.hat.testbed import Scenario, build_testbed
 from repro.workloads.tpcc_driver import TPCCDriverFactory
@@ -158,6 +160,108 @@ def run_perf_matrix(quick: bool = True,
             for case in (cases or canonical_perf_matrix())]
 
 
+# ---------------------------------------------------------------------------
+# --jobs scaling: measured, not assumed
+# ---------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class SpeedupResult:
+    """Measured wall-clock scaling of the ``--jobs N`` sweep executor."""
+
+    jobs: int
+    tasks: int
+    #: Total wall time running every task in this process, one after another.
+    sequential_wall_s: float
+    #: Wall time for the same tasks through ``run_tasks(jobs=jobs)``.
+    parallel_wall_s: float
+    #: Worker pid -> summed in-worker wall time (how the pool spread work).
+    per_worker_wall_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def speedup(self) -> float:
+        if self.parallel_wall_s <= 0:
+            return 0.0
+        return self.sequential_wall_s / self.parallel_wall_s
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "jobs": self.jobs,
+            "tasks": self.tasks,
+            "cpu_count": os.cpu_count(),
+            "sequential_wall_s": self.sequential_wall_s,
+            "parallel_wall_s": self.parallel_wall_s,
+            "speedup": self.speedup,
+            "workers": len(self.per_worker_wall_s),
+            "per_worker_wall_s": dict(self.per_worker_wall_s),
+        }
+
+
+def _timed_run(config: RunConfig) -> Tuple[int, float]:
+    """Run one config and report (worker pid, in-worker wall seconds)."""
+    start = time.perf_counter()
+    testbed = build_testbed(config.scenario)
+    run_workload(config, testbed=testbed)
+    return os.getpid(), time.perf_counter() - start
+
+
+def measure_parallel_speedup(jobs: Optional[int] = None, tasks: int = 4,
+                             duration_ms: float = 300.0) -> SpeedupResult:
+    """Measure how much ``--jobs N`` actually buys on this machine.
+
+    Runs ``tasks`` independent seeded simulations twice — sequentially in
+    this process, then through the same :func:`run_tasks` pool every sweep
+    uses — and reports the wall-clock ratio plus how the pool spread work
+    across workers.  On a single-core box the honest answer is ~1.0 (fork
+    and pickle overhead included); the artifact records it rather than
+    assuming it.
+    """
+    if jobs is None:
+        jobs = min(tasks, os.cpu_count() or 1)
+    configs = [
+        RunConfig(
+            protocol="eventual",
+            scenario=Scenario(regions=["VA", "OR"], servers_per_cluster=2,
+                              seed=index),
+            workload=YCSBConfig(),
+            clients_per_cluster=4,
+            duration_ms=duration_ms,
+            seed=index,
+        )
+        for index in range(tasks)
+    ]
+    sequential_wall_s = sum(_timed_run(config)[1] for config in configs)
+    workers = effective_jobs(jobs, tasks)
+    start = time.perf_counter()
+    timed = run_tasks(_timed_run, [(config,) for config in configs],
+                      jobs=workers)
+    parallel_wall_s = time.perf_counter() - start
+    per_worker: Dict[str, float] = {}
+    for pid, wall_s in timed:
+        key = str(pid)
+        per_worker[key] = per_worker.get(key, 0.0) + wall_s
+    return SpeedupResult(
+        jobs=workers,
+        tasks=tasks,
+        sequential_wall_s=sequential_wall_s,
+        parallel_wall_s=parallel_wall_s,
+        per_worker_wall_s=per_worker,
+    )
+
+
+def format_speedup(speedup: SpeedupResult) -> str:
+    """Render the --jobs scaling measurement."""
+    lines = [
+        f"--jobs scaling: {speedup.tasks} independent runs, "
+        f"jobs={speedup.jobs} (machine has {os.cpu_count()} cpu(s))",
+        f"  sequential: {speedup.sequential_wall_s:.2f} s   "
+        f"parallel: {speedup.parallel_wall_s:.2f} s   "
+        f"speedup: {speedup.speedup:.2f}x",
+    ]
+    for pid, wall_s in sorted(speedup.per_worker_wall_s.items()):
+        lines.append(f"  worker {pid}: {wall_s:.2f} s in-worker wall")
+    return "\n".join(lines)
+
+
 def format_perf(results: List[PerfResult]) -> str:
     """Render the perf table plus aggregate totals."""
     header = (f"{'case':<20} {'wall s':>8} {'sim ms':>10} {'events':>10} "
@@ -187,11 +291,12 @@ def format_perf(results: List[PerfResult]) -> str:
     return "\n".join(lines)
 
 
-def perf_report_json(results: List[PerfResult]) -> Dict:
+def perf_report_json(results: List[PerfResult],
+                     speedup: Optional[SpeedupResult] = None) -> Dict:
     """The JSON artifact: per-case metrics plus aggregate throughput."""
     total_wall = sum(r.wall_s for r in results)
     total_events = sum(r.events for r in results)
-    return {
+    payload = {
         "figure": "perf",
         "python": platform.python_version(),
         "machine": platform.machine(),
@@ -201,3 +306,6 @@ def perf_report_json(results: List[PerfResult]) -> Dict:
         "total_events_per_s": (total_events / total_wall
                                if total_wall else 0.0),
     }
+    if speedup is not None:
+        payload["parallel_speedup"] = speedup.as_dict()
+    return payload

@@ -8,6 +8,7 @@ from repro.bench.experiments import (
     AvailabilityTimeline,
     ElasticityResult,
     ExperimentPoint,
+    SaturationResult,
     TPCCSimResult,
 )
 
@@ -285,6 +286,117 @@ def format_elasticity(results: Sequence[ElasticityResult]) -> str:
         lines += ["", "nemesis narration (identical for every protocol):"]
         lines += [f"  {entry}" for entry in narration]
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Saturation: open-loop offered-load ramps and post-heal backlog drain
+# ---------------------------------------------------------------------------
+
+def _ms_cell(value: Optional[float], width: int = 9) -> str:
+    return f"{value:>{width}.1f}" if value is not None else f"{'-':>{width}}"
+
+
+def format_saturation(results: Sequence[SaturationResult]) -> str:
+    """One row per protocol: the knee, tail latencies, and drain time."""
+    if not results:
+        return "(no data)"
+    first = results[0]
+    campaign = first.heal_campaign
+    lines = [
+        "Open-loop saturation: offered-load ramp over bounded session pools",
+        f"logical users: {first.users:,}   sessions: {first.sessions} "
+        f"(memory is O(sessions), not O(users))",
+        f"ramp: {first.ramp.offered:,} arrivals offered in "
+        f"{first.ramp.duration_ms:g} ms; latency is arrival-to-commit "
+        "(queueing included)",
+        "knee: max windowed committed txn/s; overload@: offered txn/s where "
+        "the backlog first exceeded 2x the session count",
+        "",
+    ]
+    header = (f"{'protocol':<16} {'offered':>8} {'committed':>10} "
+              f"{'shed':>6} {'knee/s':>8} {'overload@':>10} "
+              f"{'p50ms':>9} {'p99ms':>9} {'p999ms':>9} {'qpeak':>6}")
+    lines += [header, "-" * len(header)]
+    for result in results:
+        lines.append(
+            f"{result.protocol:<16} {result.ramp.offered:>8} "
+            f"{result.ramp.committed:>10} {result.ramp.shed:>6} "
+            f"{result.knee_txn_s:>8.1f} "
+            + _ms_cell(result.overload_offered_s, 10) + " "
+            + _ms_cell(result.p50_ms) + " " + _ms_cell(result.p99_ms) + " "
+            + _ms_cell(result.p999_ms) + f" {result.ramp.queue_peak:>6}")
+    lines += [
+        "",
+        "Post-heal backlog drain (fixed offered rate through the canonical "
+        "partition campaign):",
+        "phases: " + "  ".join(
+            f"{p.name} [{p.start_ms:g}, {p.end_ms:g})"
+            for p in campaign.phases),
+        "drain: ms after heal until backlog <= sessions "
+        "(0 = never built up, '-' = never drained)",
+        "",
+    ]
+    header = (f"{'protocol':<16} {'offered':>8} {'committed':>10} "
+              f"{'aborted':>8} {'backlog-peak':>13} {'final':>6} "
+              f"{'drain-ms':>9}")
+    lines += [header, "-" * len(header)]
+    for result in results:
+        peak = max((s.backlog for s in result.heal.backlog), default=0)
+        lines.append(
+            f"{result.protocol:<16} {result.heal.offered:>8} "
+            f"{result.heal.committed:>10} {result.heal.aborted:>8} "
+            f"{peak:>13} {result.heal.backlog_final:>6} "
+            + _ms_cell(result.drain_ms))
+    narration = [entry for result in results[:1]
+                 for entry in result.narration]
+    if narration:
+        lines += ["", "nemesis narration (identical for every protocol):"]
+        lines += [f"  {entry}" for entry in narration]
+    return "\n".join(lines)
+
+
+def saturation_report_json(results: Sequence[SaturationResult]) -> Dict:
+    """A JSON-safe artifact of the saturation experiment (no NaN anywhere)."""
+    payload: Dict = {"figure": "saturation", "protocols": []}
+    if results:
+        campaign = results[0].heal_campaign
+        payload["users"] = results[0].users
+        payload["sessions"] = results[0].sessions
+        payload["heal_campaign"] = {
+            "duration_ms": campaign.duration_ms,
+            "phases": [{"name": p.name, "start_ms": p.start_ms,
+                        "end_ms": p.end_ms} for p in campaign.phases],
+        }
+    for result in results:
+        payload["protocols"].append({
+            "protocol": result.protocol,
+            "knee_txn_s": result.knee_txn_s,
+            "overload_offered_s": result.overload_offered_s,
+            "p50_ms": result.p50_ms,
+            "p99_ms": result.p99_ms,
+            "p999_ms": result.p999_ms,
+            "ramp": {
+                "offered": result.ramp.offered,
+                "committed": result.ramp.committed,
+                "aborted": result.ramp.aborted,
+                "shed": result.ramp.shed,
+                "queue_peak": result.ramp.queue_peak,
+                "backlog_final": result.ramp.backlog_final,
+                "latency": result.ramp.latency.as_dict(),
+                "windows": [w.as_dict() for w in result.windows],
+            },
+            "heal": {
+                "offered": result.heal.offered,
+                "committed": result.heal.committed,
+                "aborted": result.heal.aborted,
+                "backlog_peak": max((s.backlog for s in result.heal.backlog),
+                                    default=0),
+                "backlog_final": result.heal.backlog_final,
+                "drain_ms": result.drain_ms,
+                "backlog": [s.as_dict() for s in result.heal.backlog],
+            },
+        })
+    return payload
 
 
 def elasticity_report_json(results: Sequence[ElasticityResult]) -> Dict:

@@ -16,6 +16,12 @@ executes the factory's preload (plus an anti-entropy settle period) before
 the measured interval, and feeds every finished result back through the
 workload's ``observe`` hook so stateful drivers track what actually
 committed.
+
+Closed-loop load is inherently self-throttling: clients wait for replies,
+so offered rate falls as the system slows and overload never shows.  For
+arrival-process load over bounded session pools — saturation knees,
+queueing delay, backlog drain — use the open-loop sibling,
+:func:`repro.loadgen.engine.run_open_loop`.
 """
 
 from __future__ import annotations

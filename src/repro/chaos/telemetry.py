@@ -14,24 +14,47 @@ whole window without ever committing — a client wedged behind an RPC into a
 partition, whether it later aborts on timeout or never finishes at all —
 counts as a *stall* in every window it fully covers; a slow transaction
 that eventually commits is latency, not a stall.
+
+Aggregation is **streaming**: every completion buckets immediately into its
+window's counters, and latencies stream into a bounded
+:class:`~repro.loadgen.sketch.LatencyDigest` per window instead of a sample
+list, so memory is O(windows + in-flight transactions) no matter how many
+requests an open-loop run pushes through.  The open-loop engine adds two
+more per-window series via :meth:`TimelineTelemetry.offer` (arrivals, i.e.
+offered load) and :meth:`TimelineTelemetry.observe_queue_depth` (session
+pool backlog), which is what makes *overload* observable — a saturated run
+shows offered pulling away from completed and queue depth climbing, not
+just higher latency.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chaos.campaign import CampaignPhase
 from repro.errors import ReproError
 
 
-def _latency_summary(samples):
+def _empty_summary():
     # Imported lazily: repro.bench's package __init__ pulls in the experiment
     # module, which itself imports this telemetry layer.
     from repro.bench.metrics import LatencySummary
 
-    return LatencySummary.from_samples(samples)
+    return LatencySummary.empty()
+
+
+def _summary_from_digest(digest):
+    from repro.bench.metrics import LatencySummary
+
+    return LatencySummary.from_digest(digest)
+
+
+def _new_digest():
+    from repro.loadgen.sketch import LatencyDigest
+
+    return LatencyDigest()
 
 
 @dataclass(frozen=True)
@@ -70,8 +93,12 @@ class WindowStats:
     internal_aborts: int = 0
     #: Clients that made no progress for the entire window.
     stalled: int = 0
+    #: Arrivals offered during the window (open-loop runs; 0 otherwise).
+    offered: int = 0
+    #: Peak sampled session-pool backlog during the window (open-loop runs).
+    queue_depth: int = 0
     #: :class:`~repro.bench.metrics.LatencySummary` of committed latencies.
-    latency: object = field(default_factory=lambda: _latency_summary([]))
+    latency: object = field(default_factory=_empty_summary)
 
     @property
     def attempts(self) -> int:
@@ -87,6 +114,17 @@ class WindowStats:
     def throughput_txn_s(self) -> float:
         span_ms = max(self.end_ms - self.start_ms, 1e-9)
         return 1000.0 * self.committed / span_ms
+
+    @property
+    def offered_rate_s(self) -> float:
+        span_ms = max(self.end_ms - self.start_ms, 1e-9)
+        return 1000.0 * self.offered / span_ms
+
+    @property
+    def completed_rate_s(self) -> float:
+        span_ms = max(self.end_ms - self.start_ms, 1e-9)
+        return 1000.0 * (self.committed + self.external_aborts
+                         + self.internal_aborts) / span_ms
 
     def meets(self, slo: AvailabilitySLO) -> bool:
         if self.committed < slo.min_committed:
@@ -110,6 +148,8 @@ class WindowStats:
             "external_aborts": self.external_aborts,
             "internal_aborts": self.internal_aborts,
             "stalled": self.stalled,
+            "offered": self.offered,
+            "queue_depth": self.queue_depth,
             "throughput_txn_s": self.throughput_txn_s,
             "latency": self.latency.as_dict(),
         }
@@ -158,7 +198,13 @@ class _Attempt:
 
 
 class TimelineTelemetry:
-    """Collects per-transaction begin/complete events and builds timelines."""
+    """Collects per-transaction begin/complete events and builds timelines.
+
+    Aggregation is streaming: counters and latency digests update at each
+    ``complete``/``offer``/``observe_queue_depth`` call, and only attempts
+    still in flight are held individually (for end-of-run stall
+    accounting), so memory does not grow with the number of requests.
+    """
 
     def __init__(self, window_ms: float = 500.0,
                  slo: Optional[AvailabilitySLO] = None):
@@ -166,8 +212,12 @@ class TimelineTelemetry:
             raise ReproError("telemetry window must be positive")
         self.window_ms = float(window_ms)
         self.slo = slo or AvailabilitySLO()
-        self._attempts: List[_Attempt] = []
         self._bounds: Optional[tuple] = None
+        self._window_count = 0
+        self._windows: Dict[str, List[WindowStats]] = {}
+        self._digests: Dict[Tuple[str, int], object] = {}
+        #: Attempts begun but not yet completed (in-flight stall candidates).
+        self._open: Dict[_Attempt, None] = {}
 
     # -- recording (driven by the bench runner's client loop) -----------------
     def start_run(self, start_ms: float, end_ms: float) -> None:
@@ -175,49 +225,67 @@ class TimelineTelemetry:
         if end_ms <= start_ms:
             raise ReproError("telemetry run interval must be non-empty")
         self._bounds = (float(start_ms), float(end_ms))
+        self._window_count = max(1, math.ceil((end_ms - start_ms)
+                                              / self.window_ms))
+
+    def _group_windows(self, group: str) -> List[WindowStats]:
+        windows = self._windows.get(group)
+        if windows is None:
+            start, end = self._require_bounds()
+            windows = [
+                WindowStats(index=i, start_ms=start + i * self.window_ms,
+                            end_ms=min(start + (i + 1) * self.window_ms, end))
+                for i in range(self._window_count)
+            ]
+            self._windows[group] = windows
+        return windows
+
+    def _require_bounds(self) -> tuple:
+        if self._bounds is None:
+            raise ReproError("call start_run() before recording telemetry")
+        return self._bounds
+
+    def _window_index(self, t_ms: float) -> Optional[int]:
+        start, end = self._bounds
+        if not start <= t_ms < end:
+            return None
+        return min(int((t_ms - start) / self.window_ms),
+                   self._window_count - 1)
 
     def begin(self, group: str, now_ms: float) -> _Attempt:
         attempt = _Attempt(group, now_ms)
-        self._attempts.append(attempt)
+        self._open[attempt] = None
         return attempt
 
     def complete(self, attempt: _Attempt, result) -> None:
+        self._require_bounds()
         attempt.end_ms = result.end_ms
         attempt.committed = bool(result.committed)
         attempt.internal = bool(result.internal_abort)
+        self._open.pop(attempt, None)
+        self._bucket(attempt)
 
-    # -- aggregation ------------------------------------------------------------
-    def groups(self) -> List[str]:
-        seen: Dict[str, None] = {}
-        for attempt in self._attempts:
-            seen.setdefault(attempt.group, None)
-        return list(seen)
+    def offer(self, group: str, now_ms: float) -> None:
+        """Count one offered arrival (open-loop runs call this per arrival)."""
+        self._require_bounds()
+        index = self._window_index(now_ms)
+        if index is not None:
+            self._group_windows(group)[index].offered += 1
 
-    def build(self) -> Dict[str, GroupTimeline]:
-        """Aggregate everything recorded so far into per-group timelines."""
-        if self._bounds is None:
-            raise ReproError("call start_run() before build()")
+    def observe_queue_depth(self, group: str, now_ms: float,
+                            depth: int) -> None:
+        """Record a sampled backlog depth (per window, the peak is kept)."""
+        self._require_bounds()
+        index = self._window_index(now_ms)
+        if index is not None:
+            window = self._group_windows(group)[index]
+            if depth > window.queue_depth:
+                window.queue_depth = depth
+
+    # -- streaming aggregation --------------------------------------------------
+    def _bucket(self, attempt: _Attempt) -> None:
         start, end = self._bounds
-        count = max(1, math.ceil((end - start) / self.window_ms))
-        timelines: Dict[str, GroupTimeline] = {}
-        samples: Dict[tuple, List[float]] = {}
-        for group in self.groups():
-            timelines[group] = GroupTimeline(group=group, windows=[
-                WindowStats(index=i, start_ms=start + i * self.window_ms,
-                            end_ms=min(start + (i + 1) * self.window_ms, end))
-                for i in range(count)
-            ])
-        for attempt in self._attempts:
-            windows = timelines[attempt.group].windows
-            self._bucket(attempt, windows, samples, start, end)
-        for (group, index), latencies in samples.items():
-            window = timelines[group].windows[index]
-            window.latency = _latency_summary(latencies)
-        return timelines
-
-    def _bucket(self, attempt: _Attempt, windows: List[WindowStats],
-                samples: Dict[tuple, List[float]],
-                start: float, end: float) -> None:
+        windows = self._group_windows(attempt.group)
         # Outcome counters land in the window where the transaction finished.
         if attempt.end_ms is not None and start <= attempt.end_ms < end:
             index = min(int((attempt.end_ms - start) / self.window_ms),
@@ -225,8 +293,11 @@ class TimelineTelemetry:
             window = windows[index]
             if attempt.committed:
                 window.committed += 1
-                samples.setdefault((attempt.group, index), []).append(
-                    attempt.end_ms - attempt.start_ms)
+                key = (attempt.group, index)
+                digest = self._digests.get(key)
+                if digest is None:
+                    digest = self._digests[key] = _new_digest()
+                digest.add(attempt.end_ms - attempt.start_ms)
             elif attempt.internal:
                 window.internal_aborts += 1
             else:
@@ -241,3 +312,35 @@ class TimelineTelemetry:
         for window in windows:
             if attempt.start_ms <= window.start_ms and stall_end >= window.end_ms:
                 window.stalled += 1
+
+    # -- aggregation ------------------------------------------------------------
+    def groups(self) -> List[str]:
+        return list(self._windows)
+
+    def build(self) -> Dict[str, GroupTimeline]:
+        """Snapshot everything recorded so far into per-group timelines.
+
+        Non-destructive (windows are copied), so it can be called again
+        after further recording; attempts still in flight contribute their
+        stall windows to the snapshot without being finalized.
+        """
+        start, end = self._require_bounds()
+        timelines: Dict[str, GroupTimeline] = {}
+        for group, windows in self._windows.items():
+            copies = [replace(window) for window in windows]
+            for (digest_group, index), digest in self._digests.items():
+                if digest_group == group:
+                    copies[index].latency = _summary_from_digest(digest)
+            timelines[group] = GroupTimeline(group=group, windows=copies)
+        # In-flight attempts stall every window they have fully covered.
+        for attempt in self._open:
+            timeline = timelines.get(attempt.group)
+            if timeline is None:
+                timeline = timelines[attempt.group] = GroupTimeline(
+                    group=attempt.group,
+                    windows=[replace(w) for w
+                             in self._group_windows(attempt.group)])
+            for window in timeline.windows:
+                if attempt.start_ms <= window.start_ms and window.end_ms <= end:
+                    window.stalled += 1
+        return timelines

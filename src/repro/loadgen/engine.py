@@ -1,0 +1,297 @@
+"""The open-loop traffic engine: arrival processes over session pools.
+
+``run_open_loop`` is the open-loop sibling of the closed-loop
+:func:`repro.bench.runner.run_workload`.  Load is an *arrival process*
+(:mod:`repro.loadgen.arrivals`) — the request rate is set by the traffic
+model, not by response latency — multiplexed over a bounded
+:class:`~repro.loadgen.sessions.SessionPool` per cluster, so a run over a
+million logical users costs O(pool size) protocol clients and O(sketch)
+latency memory.  Per-window offered/completed/queue-depth series flow
+through the chaos telemetry layer, which is what makes *overload* (offered
+rate above the knee, post-partition backlog) observable rather than just
+slow.
+
+The measured latency of a request is arrival-to-commit: queueing delay
+included, exactly what an open-loop system's users experience.  Committed
+latencies stream into a :class:`~repro.loadgen.sketch.LatencyDigest`
+(bounded memory, mergeable), never a sample list.
+"""
+
+from __future__ import annotations
+
+import gc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.hat.testbed import Scenario, Testbed, build_testbed
+from repro.loadgen.arrivals import ArrivalProcess
+from repro.loadgen.sessions import PendingRequest, SessionPool
+from repro.loadgen.sketch import LatencyDigest
+from repro.sim import RandomStreams
+from repro.workloads.base import as_arrival_source, run_preload
+from repro.workloads.ycsb import YCSBConfig
+
+__all__ = ["OpenLoopConfig", "OpenLoopStats", "BacklogSample", "run_open_loop"]
+
+
+@dataclass
+class OpenLoopConfig:
+    """Parameters of one open-loop run."""
+
+    protocol: str
+    scenario: Scenario
+    #: The per-cluster arrival process; every cluster runs an identical
+    #: copy fed by an independently seeded RNG, so total offered load is
+    #: ``len(clusters) * arrivals.mean_rate_per_s()``.
+    arrivals: ArrivalProcess = None  # type: ignore[assignment]
+    #: Any workload factory; factories exposing ``arrival_source(seed)``
+    #: (YCSBConfig does) generate per-user transactions statelessly.
+    workload: Any = field(default_factory=YCSBConfig)
+    #: Logical user population.  Only the *identity space* scales with this
+    #: — memory is bounded by the session pools, which is the point.
+    users: int = 1_000_000
+    sessions_per_cluster: int = 8
+    duration_ms: float = 2_000.0
+    warmup_ms: float = 0.0
+    seed: int = 0
+    #: None scales with the deployment's worst RTT (same rule as the
+    #: closed-loop runner) so in-flight requests finish.
+    grace_period_ms: Optional[float] = None
+    #: Bound on each pool's wait queue; arrivals beyond it are shed and
+    #: counted.  None = unbounded queue (backlog growth stays observable).
+    max_queue: Optional[int] = None
+    #: How often the backlog sampler records queue depth / in-flight counts.
+    backlog_sample_ms: float = 100.0
+    #: Extra keyword arguments for every session's protocol client.
+    client_kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.arrivals is None:
+            raise ReproError("OpenLoopConfig requires an arrival process")
+        if self.users < 1:
+            raise ReproError("users must be >= 1")
+
+    @property
+    def total_sessions(self) -> int:
+        return self.sessions_per_cluster * len(self.scenario.cluster_regions())
+
+
+@dataclass(slots=True)
+class BacklogSample:
+    """One snapshot of the engine's pending work, summed over pools."""
+
+    t_ms: float
+    queued: int
+    in_flight: int
+
+    @property
+    def backlog(self) -> int:
+        return self.queued + self.in_flight
+
+    def as_dict(self) -> Dict[str, float]:
+        return {"t_ms": self.t_ms, "queued": self.queued,
+                "in_flight": self.in_flight}
+
+
+@dataclass
+class OpenLoopStats:
+    """Outcome of one open-loop run."""
+
+    protocol: str
+    users: int
+    sessions: int
+    duration_ms: float
+    #: Arrivals generated during the measured interval (offered load).
+    offered: int
+    #: Arrivals shed at a full queue (0 unless ``max_queue`` is set).
+    shed: int
+    committed: int
+    aborted: int
+    operations: int
+    #: Deepest any single pool's wait queue got.
+    queue_peak: int
+    #: Requests still queued or in flight when the run (plus grace) ended —
+    #: nonzero means the run ended saturated.
+    backlog_final: int
+    #: Arrival-to-commit latency summary of committed requests (post-warmup).
+    latency: Any
+    #: The mergeable sketch behind ``latency`` (for cross-run roll-ups).
+    digest: LatencyDigest
+    #: Periodic queue/in-flight snapshots (the saturation/drain signal).
+    backlog: List[BacklogSample] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return self.committed + self.aborted
+
+    @property
+    def offered_rate_s(self) -> float:
+        return 1000.0 * self.offered / self.duration_ms
+
+    @property
+    def committed_rate_s(self) -> float:
+        return 1000.0 * self.committed / self.duration_ms
+
+
+class _ShedResult:
+    """Completion record for an arrival shed at a full queue."""
+
+    __slots__ = ("end_ms", "committed", "internal_abort")
+
+    def __init__(self, end_ms: float):
+        self.end_ms = end_ms
+        self.committed = False
+        self.internal_abort = False
+
+
+class _Counters:
+    __slots__ = ("offered", "committed", "aborted", "operations")
+
+    def __init__(self):
+        self.offered = 0
+        self.committed = 0
+        self.aborted = 0
+        self.operations = 0
+
+
+def run_open_loop(config: OpenLoopConfig,
+                  testbed: Optional[Testbed] = None,
+                  recorder: Optional[object] = None,
+                  telemetry: Optional[object] = None,
+                  preload: bool = True) -> OpenLoopStats:
+    """Execute one open-loop run and aggregate its results.
+
+    ``telemetry`` (a :class:`~repro.chaos.telemetry.TimelineTelemetry`)
+    receives, per window: an ``offer`` per arrival, a ``begin``/``complete``
+    pair per request (latency measured from *arrival*, so queueing shows
+    up), and periodic ``observe_queue_depth`` samples — the offered-versus-
+    completed and backlog series that make overload observable.
+    """
+    testbed = testbed or build_testbed(config.scenario)
+    env = testbed.env
+    # Same rationale as the closed-loop runner: generational GC passes over
+    # millions of short-lived simulation tuples collect nothing of note.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _run_open_loop_inner(config, testbed, env, recorder,
+                                    telemetry, preload)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+
+def _run_open_loop_inner(config: OpenLoopConfig, testbed: Testbed, env,
+                         recorder, telemetry, preload) -> OpenLoopStats:
+    from repro.bench.metrics import LatencySummary  # lazy: avoids a cycle
+    from repro.bench.runner import default_grace_period_ms
+
+    if preload:
+        run_preload(testbed, config.workload)
+    start_ms = env.now
+    end_ms = start_ms + config.duration_ms
+    measure_start = start_ms + config.warmup_ms
+    grace_ms = config.grace_period_ms
+    if grace_ms is None:
+        grace_ms = default_grace_period_ms(testbed)
+    horizon_ms = end_ms + grace_ms
+    if telemetry is not None:
+        telemetry.start_run(measure_start, end_ms)
+
+    streams = RandomStreams(config.seed)
+    counters = _Counters()
+    digest = LatencyDigest()
+    backlog_series: List[BacklogSample] = []
+    pools: List[SessionPool] = []
+    groups: List[str] = []
+
+    def make_handler(group: str):
+        def handle(client, session_id: int, request: PendingRequest):
+            transaction = request.transaction
+            transaction.session_id = session_id
+            result = yield client.execute(transaction)
+            if result.end_ms >= measure_start:
+                if result.committed:
+                    counters.committed += 1
+                    counters.operations += (len(result.reads)
+                                            + len(result.writes))
+                    digest.add(result.end_ms - request.arrival_ms)
+                else:
+                    counters.aborted += 1
+            if telemetry is not None and request.attempt is not None:
+                telemetry.complete(request.attempt, result)
+        return handle
+
+    def dispatcher(pool: SessionPool, source, arrival_rng, user_rng,
+                   group: str):
+        index = 0
+        for t in config.arrivals.arrivals(arrival_rng, start_ms, end_ms):
+            delay = t - env.now
+            if delay > 0:
+                yield env.timeout(delay)
+            now = env.now
+            user_id = user_rng.randrange(config.users)
+            transaction = source.transaction_for(user_id, index)
+            index += 1
+            counters.offered += 1
+            attempt = None
+            if telemetry is not None:
+                telemetry.offer(group, now)
+                attempt = telemetry.begin(group, now)
+            admitted = pool.submit(PendingRequest(
+                arrival_ms=now, user_id=user_id,
+                transaction=transaction, attempt=attempt))
+            if not admitted and attempt is not None:
+                telemetry.complete(attempt, _ShedResult(now))
+
+    def sampler():
+        while env.now < horizon_ms:
+            backlog_series.append(BacklogSample(
+                t_ms=env.now,
+                queued=sum(pool.depth for pool in pools),
+                in_flight=sum(pool.busy for pool in pools)))
+            if telemetry is not None:
+                for pool, group in zip(pools, groups):
+                    telemetry.observe_queue_depth(group, env.now,
+                                                  pool.backlog)
+            yield env.timeout(config.backlog_sample_ms)
+
+    for cluster_index, cluster_name in enumerate(testbed.config.cluster_names):
+        group = testbed.config.cluster(cluster_name).region
+        pool = SessionPool(
+            testbed, config.protocol, cluster_name,
+            size=config.sessions_per_cluster, recorder=recorder,
+            max_queue=config.max_queue,
+            first_session_id=cluster_index * config.sessions_per_cluster,
+            client_kwargs=config.client_kwargs)
+        pools.append(pool)
+        groups.append(group)
+        pool.start(make_handler(group))
+        source = as_arrival_source(config.workload,
+                                   seed=config.seed * 10_000 + cluster_index)
+        env.process(dispatcher(
+            pool, source,
+            streams.stream(f"arrivals:{cluster_name}"),
+            streams.stream(f"users:{cluster_name}"),
+            group))
+    env.process(sampler())
+    env.run(until=horizon_ms)
+
+    return OpenLoopStats(
+        protocol=config.protocol,
+        users=config.users,
+        sessions=config.total_sessions,
+        duration_ms=config.duration_ms,
+        offered=counters.offered,
+        shed=sum(pool.shed for pool in pools),
+        committed=counters.committed,
+        aborted=counters.aborted,
+        operations=counters.operations,
+        queue_peak=max((pool.queue_peak for pool in pools), default=0),
+        backlog_final=sum(pool.backlog for pool in pools),
+        latency=LatencySummary.from_digest(digest),
+        digest=digest,
+        backlog=backlog_series,
+    )

@@ -1,0 +1,189 @@
+"""A mergeable streaming quantile sketch (t-digest style).
+
+Closed-loop experiments could afford to keep every latency sample in a
+Python list; an open-loop run at production arrival rates cannot — a
+million-request ramp would hold a million floats per window series.  This
+digest keeps a *bounded* set of weighted centroids (Dunning's merging
+t-digest with the arcsine scale function), so memory is O(compression)
+regardless of how many samples stream through, while the quantile estimate
+stays tight exactly where latency reporting needs it: at the tails (the
+scale function shrinks centroids near q=0 and q=1, so p99/p999 are far more
+accurate than a uniform histogram of the same size).
+
+Two properties the benchmark layer depends on, both pinned by tests:
+
+* **Determinism** — the digest draws no randomness; the same sample
+  sequence always produces the same centroids, so seeded simulations stay
+  bit-identical (including across the ``--jobs`` parallel merge, where each
+  run builds its digest inside one worker and merges happen in input
+  order).
+* **Mergeability** — ``merge`` folds another digest in as weighted points;
+  a merge of per-window (or per-worker) parts equals the digest of the
+  whole stream to within the rank-error bound, which is what lets
+  per-window series roll up into run-level summaries without re-reading
+  samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Optional, Tuple
+
+__all__ = ["LatencyDigest"]
+
+#: Default compression: ~2x this many centroids retained at steady state.
+DEFAULT_COMPRESSION = 100
+
+
+def _k_scale(q: float, compression: float) -> float:
+    """Dunning's k1 scale function: fine near the tails, coarse in the middle."""
+    return compression * (math.asin(2.0 * q - 1.0) / math.pi + 0.5)
+
+
+class LatencyDigest:
+    """Streaming quantile sketch over latency samples (milliseconds).
+
+    ``add`` buffers incoming samples and periodically compresses them into
+    centroids; ``merge`` folds in another digest; ``quantile`` interpolates
+    between centroid means.  ``count``/``mean``/``minimum``/``maximum`` are
+    exact (tracked outside the sketch), only interior quantiles are
+    approximate.
+    """
+
+    def __init__(self, compression: int = DEFAULT_COMPRESSION):
+        if compression < 10:
+            raise ValueError(f"compression too small: {compression!r}")
+        self.compression = int(compression)
+        #: Compressed centroids: parallel (mean, weight) lists sorted by mean.
+        self._means: List[float] = []
+        self._weights: List[float] = []
+        #: Uncompressed recent samples, folded in at the next compress.
+        self._buffer: List[float] = []
+        self._buffer_cap = 4 * self.compression
+        self.count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    # -- ingestion ---------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Fold one sample into the sketch."""
+        value = float(value)
+        self.count += 1
+        self._sum += value
+        if self._min is None or value < self._min:
+            self._min = value
+        if self._max is None or value > self._max:
+            self._max = value
+        buffer = self._buffer
+        buffer.append(value)
+        if len(buffer) >= self._buffer_cap:
+            self._compress()
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "LatencyDigest") -> "LatencyDigest":
+        """Fold ``other``'s mass into this digest (rank error stays bounded)."""
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self._sum += other._sum
+        if other._min is not None and (self._min is None or other._min < self._min):
+            self._min = other._min
+        if other._max is not None and (self._max is None or other._max > self._max):
+            self._max = other._max
+        pending = list(zip(self._means, self._weights))
+        pending += [(m, 1.0) for m in self._buffer]
+        pending += list(zip(other._means, other._weights))
+        pending += [(m, 1.0) for m in other._buffer]
+        self._buffer = []
+        self._means, self._weights = self._merge_points(pending)
+        return self
+
+    def _compress(self) -> None:
+        pending = list(zip(self._means, self._weights))
+        pending += [(m, 1.0) for m in self._buffer]
+        self._buffer = []
+        self._means, self._weights = self._merge_points(pending)
+
+    def _merge_points(
+            self, points: List[Tuple[float, float]],
+    ) -> Tuple[List[float], List[float]]:
+        """One merging pass: sort by mean, greedily fuse within the k-limit."""
+        if not points:
+            return [], []
+        points.sort(key=lambda p: p[0])
+        total = sum(w for _m, w in points)
+        compression = float(self.compression)
+        means: List[float] = []
+        weights: List[float] = []
+        cur_sum = points[0][0] * points[0][1]
+        cur_weight = points[0][1]
+        done = 0.0  # weight already sealed into emitted centroids
+        k_floor = _k_scale(0.0, compression)
+        for mean, weight in points[1:]:
+            q_new = (done + cur_weight + weight) / total
+            if _k_scale(q_new, compression) - k_floor <= 1.0:
+                cur_sum += mean * weight
+                cur_weight += weight
+            else:
+                means.append(cur_sum / cur_weight)
+                weights.append(cur_weight)
+                done += cur_weight
+                k_floor = _k_scale(done / total, compression)
+                cur_sum = mean * weight
+                cur_weight = weight
+        means.append(cur_sum / cur_weight)
+        weights.append(cur_weight)
+        return means, weights
+
+    # -- statistics --------------------------------------------------------
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self.count if self.count else None
+
+    @property
+    def minimum(self) -> Optional[float]:
+        return self._min
+
+    @property
+    def maximum(self) -> Optional[float]:
+        return self._max
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (q in [0, 1]); None when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile out of range: {q!r}")
+        if self.count == 0:
+            return None
+        if self._buffer:
+            self._compress()
+        means, weights = self._means, self._weights
+        if len(means) == 1:
+            return means[0]
+        target = q * self.count
+        # Centroid i covers ranks centred on cum(i) - weight/2; interpolate
+        # between adjacent centres, clamping to the exact extremes.
+        cum = 0.0
+        prev_centre = 0.0
+        prev_mean = self._min
+        for mean, weight in zip(means, weights):
+            centre = cum + weight / 2.0
+            if target < centre:
+                span = centre - prev_centre
+                frac = (target - prev_centre) / span if span > 0 else 0.0
+                return prev_mean + (mean - prev_mean) * frac
+            cum += weight
+            prev_centre = centre
+            prev_mean = mean
+        return self._max
+
+    def centroid_count(self) -> int:
+        """Retained centroids + buffered samples (the memory bound)."""
+        return len(self._means) + len(self._buffer)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"LatencyDigest(count={self.count}, "
+                f"centroids={len(self._means)}, buffered={len(self._buffer)})")

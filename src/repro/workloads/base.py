@@ -48,6 +48,39 @@ class Workload(abc.ABC):
         return None
 
 
+class ArrivalSource(abc.ABC):
+    """Stateless per-arrival transaction generation for open-loop load.
+
+    The closed-loop :class:`Workload` carries per-client state, which is
+    exactly what a million-user open-loop run cannot afford (one stream
+    object per logical user).  An arrival source instead derives each
+    transaction deterministically from ``(seed, user_id, arrival_index)``
+    alone, so the engine holds O(1) generator state no matter how many
+    users the arrival process draws from.
+    """
+
+    @abc.abstractmethod
+    def transaction_for(self, user_id: int, arrival_index: int) -> Transaction:
+        """The transaction issued by ``user_id``'s ``arrival_index``-th
+        arrival.  ``session_id`` is stamped later by the pool slot that
+        executes it."""
+
+
+class _WorkloadStreamSource(ArrivalSource):
+    """Adapter: drive a per-session :class:`Workload` from arrivals.
+
+    For factories without a native ``arrival_source`` hook, one shared
+    stream generates transactions in arrival order and ``user_id`` is
+    ignored — closed-loop content on an open-loop clock.
+    """
+
+    def __init__(self, workload: Workload):
+        self._workload = workload
+
+    def transaction_for(self, user_id: int, arrival_index: int) -> Transaction:
+        return self._workload.next_transaction()
+
+
 class WorkloadFactory(abc.ABC):
     """Builds per-client workloads (and optionally preloads the store)."""
 
@@ -77,6 +110,21 @@ def as_workload_factory(workload: object) -> object:
             "build(seed, session_id) method (see repro.workloads.base)"
         )
     return workload
+
+
+def as_arrival_source(workload: object, seed: int) -> ArrivalSource:
+    """Build an :class:`ArrivalSource` from any workload factory.
+
+    Factories exposing ``arrival_source(seed)`` (the open-loop native hook;
+    :class:`~repro.workloads.ycsb.YCSBConfig` does) get stateless per-user
+    generation; anything else with the ``build(seed, session_id)`` factory
+    shape is adapted through one shared per-run stream.
+    """
+    maker = getattr(workload, "arrival_source", None)
+    if callable(maker):
+        return maker(seed)
+    factory = as_workload_factory(workload)
+    return _WorkloadStreamSource(factory.build(seed=seed, session_id=None))
 
 
 def run_preload(testbed, factory, protocol: str = "eventual") -> int:

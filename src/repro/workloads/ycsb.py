@@ -55,6 +55,10 @@ class YCSBConfig:
         """One per-client workload stream (the runner's factory hook)."""
         return YCSBWorkload(self, seed=seed, session_id=session_id)
 
+    def arrival_source(self, seed: int) -> "YCSBArrivalSource":
+        """Stateless per-arrival generation (the open-loop engine's hook)."""
+        return YCSBArrivalSource(self, seed=seed)
+
     def initial_transactions(self) -> List[Transaction]:
         return []
 
@@ -101,3 +105,38 @@ class YCSBWorkload(Workload):
         """A deterministic subset of the keyspace for pre-loading stores."""
         count = min(limit, max(1, int(self.config.key_count * fraction)))
         return [f"user{index}" for index in range(count)]
+
+
+class YCSBArrivalSource:
+    """Stateless YCSB transaction generation for open-loop load.
+
+    Each transaction is a pure function of ``(seed, user_id,
+    arrival_index)``: a private RNG is reseeded per arrival, so a
+    million-user run holds no per-user state while two arrivals by the same
+    user still differ (and rerunning the same seed reproduces them
+    bit-for-bit).  Written values are tagged with the user and arrival so
+    anomaly audits can tell writers apart.
+    """
+
+    def __init__(self, config: Optional[YCSBConfig] = None, seed: int = 0):
+        self.config = config or YCSBConfig()
+        self.seed = seed
+        self._rng = random.Random()
+        if self.config.distribution == "uniform":
+            self._chooser: KeyChooser = UniformKeys(self.config.key_count)
+        else:
+            self._chooser = ZipfianKeys(self.config.key_count,
+                                        self.config.zipfian_theta)
+
+    def transaction_for(self, user_id: int, arrival_index: int) -> Transaction:
+        rng = self._rng
+        rng.seed(f"{self.seed}:{user_id}:{arrival_index}")
+        operations: List[Operation] = []
+        for op_index in range(self.config.operations_per_transaction):
+            key = self._chooser.key(rng)
+            if rng.random() < self.config.write_proportion:
+                operations.append(Operation.write(
+                    key, f"u{user_id}a{arrival_index}v{op_index}"))
+            else:
+                operations.append(Operation.read(key))
+        return Transaction(operations=operations)

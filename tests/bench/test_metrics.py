@@ -79,3 +79,56 @@ class TestSummarizeRun:
         results = [result(1, reads=4, remote=2)]
         stats = summarize_run("master", clients=1, duration_ms=1000.0, results=results)
         assert stats.remote_rpc_fraction == pytest.approx(0.5)
+
+
+class TestFromDigest:
+    def _digest(self, samples):
+        from repro.loadgen.sketch import LatencyDigest
+
+        digest = LatencyDigest()
+        digest.extend(samples)
+        return digest
+
+    def test_matches_exact_stats(self):
+        samples = [float(v) for v in range(1, 101)]
+        summary = LatencySummary.from_digest(self._digest(samples))
+        assert summary.count == 100
+        assert summary.mean == pytest.approx(50.5)
+        assert summary.maximum == 100.0
+        assert summary.p50 == pytest.approx(50.5, abs=2.0)
+        assert summary.p99 == pytest.approx(99.0, abs=2.0)
+
+    def test_none_and_empty_digest_yield_empty_summary(self):
+        assert LatencySummary.from_digest(None) == LatencySummary.empty()
+        empty = LatencySummary.from_digest(self._digest([]))
+        assert empty == LatencySummary.empty()
+        # Same JSON contract as the sample path: None, never NaN.
+        payload = json.dumps(empty.as_dict(), allow_nan=False)
+        assert json.loads(payload)["mean"] is None
+
+    def test_agrees_with_small_sample_path(self):
+        """Regression: tiny windows go through the exact small-sample path;
+        digest summaries of the same data must agree on the exact stats."""
+        samples = [12.0, 3.0, 7.0]
+        from_list = LatencySummary.from_samples(samples)
+        from_sketch = LatencySummary.from_digest(self._digest(samples))
+        assert from_sketch.count == from_list.count
+        assert from_sketch.mean == pytest.approx(from_list.mean)
+        assert from_sketch.maximum == from_list.maximum
+
+
+class TestSmallSamplePath:
+    def test_no_numpy_for_tiny_windows(self, monkeypatch):
+        """Regression: summarizing a tiny window must not materialize a
+        numpy array (the per-window hot path used to)."""
+        import repro.bench.metrics as metrics
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - trip wire
+            raise AssertionError("numpy used on the small-sample path")
+
+        monkeypatch.setattr(metrics.np, "asarray", forbidden, raising=False)
+        monkeypatch.setattr(metrics.np, "percentile", forbidden, raising=False)
+        summary = LatencySummary.from_samples([5.0, 1.0, 3.0])
+        assert summary.count == 3
+        assert summary.p50 == pytest.approx(3.0)
+        assert LatencySummary.from_samples([]).count == 0

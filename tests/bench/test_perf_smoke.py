@@ -56,3 +56,40 @@ class TestPerfSmoke:
         import json
 
         json.dumps(payload, allow_nan=False)
+
+
+class TestParallelSpeedup:
+    def test_contract(self):
+        from repro.bench.perf import (
+            SpeedupResult,
+            format_speedup,
+            measure_parallel_speedup,
+        )
+
+        speedup = measure_parallel_speedup(jobs=2, tasks=2, duration_ms=60.0)
+        assert isinstance(speedup, SpeedupResult)
+        assert speedup.tasks == 2
+        assert speedup.sequential_wall_s > 0
+        assert speedup.parallel_wall_s > 0
+        assert speedup.speedup > 0
+        # Every task ran somewhere: the per-worker walls cover all of them.
+        assert speedup.per_worker_wall_s
+        assert sum(speedup.per_worker_wall_s.values()) > 0
+        text = format_speedup(speedup)
+        assert "speedup" in text and "worker" in text
+
+    def test_json_field_in_perf_payload(self):
+        from repro.bench.perf import SpeedupResult
+
+        results = run_perf_matrix(quick=True,
+                                  cases=canonical_perf_matrix()[:1])
+        speedup = SpeedupResult(jobs=2, tasks=4, sequential_wall_s=2.0,
+                                parallel_wall_s=1.0,
+                                per_worker_wall_s={"1": 1.0, "2": 1.0})
+        payload = perf_report_json(results, speedup=speedup)
+        entry = payload["parallel_speedup"]
+        assert entry["speedup"] == pytest.approx(2.0)
+        assert entry["workers"] == 2
+        import json
+
+        json.dumps(payload, allow_nan=False)

@@ -176,3 +176,66 @@ class TestSerialization:
         decoded = json.loads(payload)
         assert decoded[1]["latency"]["mean"] is None
         assert decoded[0]["committed"] == 1
+
+
+class TestOfferedAndQueueSeries:
+    def test_offer_buckets_by_arrival_time(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 300.0)
+        for t in (10.0, 20.0, 150.0, 250.0):
+            telemetry.offer("VA", t)
+        windows = telemetry.build()["VA"].windows
+        assert [w.offered for w in windows] == [2, 1, 1]
+
+    def test_offered_can_exceed_completed(self):
+        """Open-loop overload: arrivals outpace completions per window."""
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 100.0)
+        for t in (0.0, 10.0, 20.0):
+            telemetry.offer("VA", t)
+        record(telemetry, "VA", 0.0, 50.0)
+        window = telemetry.build()["VA"].windows[0]
+        assert window.offered == 3
+        assert window.committed == 1
+        assert window.offered_rate_s == pytest.approx(30.0)
+        assert window.completed_rate_s == pytest.approx(10.0)
+
+    def test_queue_depth_keeps_window_max(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 200.0)
+        telemetry.observe_queue_depth("VA", 10.0, 3)
+        telemetry.observe_queue_depth("VA", 50.0, 9)
+        telemetry.observe_queue_depth("VA", 80.0, 5)
+        telemetry.observe_queue_depth("VA", 150.0, 1)
+        windows = telemetry.build()["VA"].windows
+        assert [w.queue_depth for w in windows] == [9, 1]
+
+    def test_series_serialize(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 100.0)
+        telemetry.offer("VA", 0.0)
+        telemetry.observe_queue_depth("VA", 0.0, 2)
+        payload = telemetry.build()["VA"].windows[0].as_dict()
+        decoded = json.loads(json.dumps(payload, allow_nan=False))
+        assert decoded["offered"] == 1
+        assert decoded["queue_depth"] == 2
+
+
+class TestRepeatableBuild:
+    def test_build_twice_same_answer(self):
+        """build() must be a pure snapshot: calling it twice (or completing
+        more work in between) cannot corrupt earlier windows."""
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 300.0)
+        record(telemetry, "VA", 10.0, 50.0)
+        attempt = telemetry.begin("VA", 90.0)  # spans windows while open
+        first = telemetry.build()["VA"].windows
+        second = telemetry.build()["VA"].windows
+        assert [w.as_dict() for w in first] == [w.as_dict() for w in second]
+        # The in-flight attempt stalls windows in the snapshot only...
+        assert [w.stalled for w in first] == [0, 1, 1]
+        # ...and completing it afterwards still buckets correctly.
+        telemetry.complete(attempt, FakeResult(120.0))
+        final = telemetry.build()["VA"].windows
+        assert [w.stalled for w in final] == [0, 0, 0]
+        assert [w.committed for w in final] == [1, 1, 0]

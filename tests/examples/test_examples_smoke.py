@@ -22,12 +22,14 @@ EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
 QUICK_FLAGS = {
     "availability_under_partitions.py": ["--quick"],
     "elastic_scale_out.py": ["--quick"],
+    "saturation_ramp.py": ["--quick"],
 }
 
 #: Artifacts a script is expected to leave in its working directory.
 EXPECTED_ARTIFACTS = {
     "availability_under_partitions.py": ["availability.json"],
     "elastic_scale_out.py": ["elasticity.json"],
+    "saturation_ramp.py": ["saturation.json"],
 }
 
 

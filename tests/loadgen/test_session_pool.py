@@ -1,0 +1,99 @@
+"""Unit tests for the bounded session pool."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.loadgen.sessions import PendingRequest, SessionPool
+
+
+def make_pool(testbed, size=2, max_queue=None):
+    return SessionPool(testbed, "eventual", "cluster0-VA", size=size,
+                       max_queue=max_queue)
+
+
+def sleep_handler(env, duration_ms):
+    """A handler that holds its session for a fixed simulated time."""
+    def handle(client, session_id, request):
+        yield env.timeout(duration_ms)
+    return handle
+
+
+def request(arrival_ms=0.0, user_id=0):
+    return PendingRequest(arrival_ms=arrival_ms, user_id=user_id,
+                          transaction=None)
+
+
+class TestConstruction:
+    def test_builds_one_client_per_slot(self, local_testbed):
+        pool = make_pool(local_testbed, size=3)
+        assert len(pool.sessions) == 3
+        assert pool.session_ids == [0, 1, 2]
+        assert all(client.node.home_cluster == "cluster0-VA"
+                   for client in pool.sessions)
+
+    def test_first_session_id_offsets_slot_ids(self, local_testbed):
+        pool = SessionPool(local_testbed, "eventual", "cluster0-VA", size=2,
+                           first_session_id=10)
+        assert pool.session_ids == [10, 11]
+
+    def test_rejects_empty_pool(self, local_testbed):
+        with pytest.raises(ReproError):
+            make_pool(local_testbed, size=0)
+
+    def test_rejects_negative_queue_bound(self, local_testbed):
+        with pytest.raises(ReproError):
+            make_pool(local_testbed, max_queue=-1)
+
+    def test_cannot_start_twice(self, local_testbed):
+        pool = make_pool(local_testbed)
+        pool.start(sleep_handler(local_testbed.env, 1.0))
+        with pytest.raises(ReproError):
+            pool.start(sleep_handler(local_testbed.env, 1.0))
+
+
+class TestQueueing:
+    def test_serves_every_admitted_request(self, local_testbed):
+        env = local_testbed.env
+        pool = make_pool(local_testbed, size=2)
+        pool.start(sleep_handler(env, 5.0))
+        for i in range(6):
+            assert pool.submit(request(user_id=i))
+        env.run(until=100.0)
+        assert pool.admitted == 6
+        assert pool.served == 6
+        assert pool.backlog == 0
+
+    def test_queue_peak_tracks_worst_depth(self, local_testbed):
+        env = local_testbed.env
+        pool = make_pool(local_testbed, size=1)
+        pool.start(sleep_handler(env, 10.0))
+        for i in range(5):
+            pool.submit(request(user_id=i))
+        env.run(until=1.0)
+        # One in service, four waiting: the peak saw all five queued
+        # (workers only drain the queue once the env starts running).
+        assert pool.queue_peak == 5
+        assert pool.busy == 1
+        assert pool.depth == 4
+
+    def test_sheds_beyond_max_queue(self, local_testbed):
+        env = local_testbed.env
+        pool = make_pool(local_testbed, size=1, max_queue=2)
+        pool.start(sleep_handler(env, 10.0))
+        results = [pool.submit(request(user_id=i)) for i in range(5)]
+        # Workers haven't run yet, so the queue fills at 2 and sheds after.
+        assert results == [True, True, False, False, False]
+        assert pool.shed == 3
+        env.run(until=100.0)
+        assert pool.served == 2
+
+    def test_backlog_counts_queued_plus_in_service(self, local_testbed):
+        env = local_testbed.env
+        pool = make_pool(local_testbed, size=2)
+        pool.start(sleep_handler(env, 50.0))
+        for i in range(3):
+            pool.submit(request(user_id=i))
+        env.run(until=1.0)
+        assert pool.busy == 2
+        assert pool.depth == 1
+        assert pool.backlog == 3

@@ -1,0 +1,115 @@
+"""Property tests for the mergeable latency digest.
+
+The digest replaces unbounded sample lists on the telemetry hot path, so
+three things must hold no matter what data streams in: exact counters
+(count/mean/min/max are not approximations), bounded memory (centroids
+never grow past the compression budget), and mergeability — summarizing
+parts and merging must agree with summarizing the whole, which is what
+makes ``--jobs N`` roll-ups and cross-run aggregation sound.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.loadgen.sketch import LatencyDigest
+
+SAMPLES = st.lists(
+    st.floats(min_value=0.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=400)
+
+QUANTILES = (0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999)
+
+
+def _rank_error(samples, q, estimate):
+    """Distance from q to the estimate's rank *interval* (ties span ranks)."""
+    n = len(samples)
+    lo = sum(1 for s in samples if s < estimate) / n
+    hi = sum(1 for s in samples if s <= estimate) / n
+    if lo <= q <= hi:
+        return 0.0
+    return min(abs(q - lo), abs(q - hi))
+
+
+@given(samples=SAMPLES)
+@settings(max_examples=60, deadline=None)
+def test_exact_statistics(samples):
+    digest = LatencyDigest()
+    digest.extend(samples)
+    assert digest.count == len(samples)
+    assert digest.minimum == min(samples)
+    assert digest.maximum == max(samples)
+    assert digest.mean == pytest.approx(sum(samples) / len(samples))
+
+
+@given(samples=SAMPLES)
+@settings(max_examples=60, deadline=None)
+def test_quantiles_within_range_and_rank_error(samples):
+    digest = LatencyDigest()
+    digest.extend(samples)
+    # Interpolating between adjacent centroids can land the estimate
+    # strictly between two samples, which for tiny n shifts its rank by
+    # up to ~1/n; past that, 5% absolute rank error is a loose bound the
+    # implementation beats comfortably.
+    bound = max(0.05, 1.0 / len(samples))
+    for q in QUANTILES:
+        estimate = digest.quantile(q)
+        assert min(samples) <= estimate <= max(samples)
+        assert _rank_error(samples, q, estimate) <= bound
+
+
+@given(samples=st.lists(st.floats(min_value=0.0, max_value=1e6,
+                                  allow_nan=False, allow_infinity=False),
+                        min_size=2, max_size=400),
+       cut=st.integers(min_value=1, max_value=399))
+@settings(max_examples=60, deadline=None)
+def test_merge_of_parts_matches_whole(samples, cut):
+    """digest(parts merged) ~= digest(whole), and counters exactly equal."""
+    cut = min(cut, len(samples) - 1)
+    left, right = LatencyDigest(), LatencyDigest()
+    left.extend(samples[:cut])
+    right.extend(samples[cut:])
+    left.merge(right)
+
+    whole = LatencyDigest()
+    whole.extend(samples)
+
+    assert left.count == whole.count == len(samples)
+    assert left.minimum == whole.minimum
+    assert left.maximum == whole.maximum
+    assert left.mean == pytest.approx(whole.mean)
+    bound = max(0.05, 1.0 / len(samples))
+    for q in QUANTILES:
+        # Both views must be valid summaries of the same data: compare each
+        # against ground truth by rank error rather than against each other.
+        assert _rank_error(samples, q, left.quantile(q)) <= bound
+        assert _rank_error(samples, q, whole.quantile(q)) <= bound
+
+
+def test_centroid_memory_is_bounded():
+    digest = LatencyDigest(compression=100)
+    for i in range(100_000):
+        digest.add(float(i % 9973))
+    assert digest.count == 100_000
+    # Buffer (4x compression) plus the compressed centroid list: far below
+    # the 100k samples a list would hold.
+    assert digest.centroid_count() <= 4 * 100 + 2 * 100
+    assert digest.quantile(0.5) == pytest.approx(9973 / 2, rel=0.05)
+
+
+def test_deterministic_no_randomness():
+    a, b = LatencyDigest(), LatencyDigest()
+    data = [float((i * 7919) % 1000) for i in range(5000)]
+    a.extend(data)
+    b.extend(data)
+    assert a.quantile(0.5) == b.quantile(0.5)
+    assert a.quantile(0.99) == b.quantile(0.99)
+    assert a.centroid_count() == b.centroid_count()
+
+
+def test_empty_digest():
+    digest = LatencyDigest()
+    assert digest.count == 0
+    assert digest.mean is None
+    assert digest.minimum is None
+    assert digest.maximum is None

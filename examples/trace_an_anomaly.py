@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Trace an anomaly back to its cause: spans, critical paths, provenance.
+
+The paper catalogs which anomalies (Adya's G0, G1, lost update, ...) each
+HAT isolation level admits.  This example goes one step further and asks
+*where a specific anomaly came from*: it runs a TPC-C-style workload with
+per-transaction tracing enabled while a nemesis partitions Virginia from
+Oregon, audits the history for anomalies, and joins each anomaly back to
+the traces of the transactions that produced it — plus any fault window
+they overlapped.  Alongside, it decomposes arrival-to-commit latency into
+critical-path segments (queueing, rtt, service, lock wait, retry) for
+healthy versus partitioned runs of two HAT stacks.
+
+Run with::
+
+    python examples/trace_an_anomaly.py
+
+Writes ``trace.json`` (the ``python -m repro.bench trace --json DIR``
+artifact) and ``trace_events.json`` — a Chrome trace-event file you can
+load in Perfetto (https://ui.perfetto.dev) to see the implicated
+transactions on a timeline against the fault track.
+"""
+
+import argparse
+import json
+
+from repro.bench.experiments import trace_experiment
+from repro.bench.report import format_trace, trace_report_json
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter runs (for smoke tests)")
+    args = parser.parse_args(argv)
+    scale = 0.5 if args.quick else 1.0
+    stacks, provenance = trace_experiment(
+        protocols=("eventual", "causal"),
+        duration_ms=1_200.0 * scale,
+        baseline_ms=800.0 * scale,
+        partition_ms=1_600.0 * scale,
+        recovery_ms=800.0 * scale,
+        key_count=1_000,
+    )
+    print(format_trace(stacks, provenance))
+    print()
+
+    with open("trace.json", "w") as handle:
+        json.dump(trace_report_json(stacks, provenance), handle, indent=2,
+                  allow_nan=False)
+    with open("trace_events.json", "w") as handle:
+        json.dump(provenance.chrome, handle, indent=2, allow_nan=False)
+    print("(wrote trace.json and trace_events.json — load the latter in "
+          "Perfetto)")
+
+    joined = provenance.provenance
+    entries = joined["entries"]
+    if entries:
+        first = entries[0]
+        traces = sorted({t["trace_id"] for t in first["traces"]})
+        where = (f"warehouse {first['warehouse']} district "
+                 f"{first['district']} order {first['order_id']}")
+        print(f"\nExample: a {first['anomaly']} anomaly at {where} "
+              f"involves traces {traces}"
+              + (f", inside fault window(s) {sorted(first['fault_windows'])}"
+                 if first["fault_windows"] else "") + ".")
+    print(f"\n{joined['anomalies_joined']} anomalies joined to traces, "
+          f"{joined['anomalies_under_fault']} of them inside a fault "
+          "window: weak isolation admits these anomalies even when the "
+          "network is healthy, but the partition concentrates them — and "
+          "the trace shows exactly which transactions raced.")
+
+
+if __name__ == "__main__":
+    main()

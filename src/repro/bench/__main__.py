@@ -32,7 +32,9 @@ from repro.bench.experiments import (
     figure6_scale_out,
     saturation_experiment,
     tpcc_sim_experiment,
+    trace_experiment,
 )
+from repro.bench.provenance import provenance_header
 from repro.bench.report import (
     availability_report_json,
     elasticity_report_json,
@@ -42,8 +44,10 @@ from repro.bench.report import (
     format_saturation,
     format_series,
     format_tpcc_sim,
+    format_trace,
     saturation_report_json,
     tpcc_sim_report_json,
+    trace_report_json,
 )
 from repro.net.measurement import (
     cross_region_mean_table,
@@ -175,7 +179,9 @@ def _perf(quick: bool, jobs=None):
     from repro.bench.perf import (
         format_perf,
         format_speedup,
+        format_tracing_overhead,
         measure_parallel_speedup,
+        measure_tracing_overhead,
         perf_report_json,
         run_perf_matrix,
     )
@@ -183,8 +189,12 @@ def _perf(quick: bool, jobs=None):
     results = run_perf_matrix(quick=quick)
     speedup = measure_parallel_speedup(
         jobs=jobs, duration_ms=200.0 if quick else 600.0)
-    return (format_perf(results) + "\n\n" + format_speedup(speedup),
-            perf_report_json(results, speedup=speedup))
+    overhead = measure_tracing_overhead(
+        duration_ms=300.0 if quick else 800.0)
+    return (format_perf(results) + "\n\n" + format_speedup(speedup)
+            + "\n" + format_tracing_overhead(overhead),
+            perf_report_json(results, speedup=speedup,
+                             tracing_overhead=overhead))
 
 
 def _availability(quick: bool, jobs=None):
@@ -245,6 +255,31 @@ def _saturation(quick: bool, jobs=None):
     return format_saturation(results), saturation_report_json(results)
 
 
+def _trace(quick: bool, jobs=None):
+    """Tracing artifact: per-stack p99 critical-path breakdown + provenance.
+
+    Two legs: every TRACE_PROTOCOLS stack traced healthy and under the
+    canonical partition campaign (arrival-to-commit latency decomposed
+    into queueing / RTT / service / retry / lock-wait / client), then a
+    traced contended TPC-C run whose audited anomalies are joined back to
+    the claimant transactions' traces and the fault windows they
+    overlapped.  Beside ``trace.json`` the bench writes
+    ``trace_events.json`` — Chrome trace-event JSON, loadable at
+    https://ui.perfetto.dev.
+    """
+    stacks, provenance = trace_experiment(
+        duration_ms=1_200.0 if quick else 3_000.0,
+        baseline_ms=600.0 if quick else 1_000.0,
+        partition_ms=1_200.0 if quick else 2_000.0,
+        recovery_ms=600.0 if quick else 1_000.0,
+        key_count=2_000 if quick else 10_000,
+        jobs=jobs,
+    )
+    return (format_trace(stacks, provenance),
+            trace_report_json(stacks, provenance),
+            {"trace_events.json": provenance.chrome})
+
+
 ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "table1": _table1,
     "table2": _table2,
@@ -261,6 +296,7 @@ ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "elasticity": _elasticity,
     "saturation": _saturation,
     "perf": _perf,
+    "trace": _trace,
 }
 
 
@@ -283,8 +319,24 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write <DIR>/<artifact>.json for artifacts "
                              "with a JSON form (currently: availability, "
-                             "elasticity, saturation, tpcc-sim, perf)")
+                             "elasticity, saturation, tpcc-sim, perf, trace)")
     return parser
+
+
+def _write_artifact(directory: str, filename: str, payload: dict,
+                    header: dict) -> str:
+    """Write one artifact JSON with the provenance header prepended.
+
+    The header is injected here — centrally, at write time — so the
+    payloads the report functions return stay byte-identical to what the
+    golden-artifact regression tests pin.
+    """
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, filename)
+    with open(path, "w") as handle:
+        json.dump({"provenance": header, **payload}, handle, indent=2,
+                  allow_nan=False)
+    return path
 
 
 def main(argv=None) -> int:
@@ -300,15 +352,20 @@ def main(argv=None) -> int:
         print(f"\n===== {name} =====")
         rendered = ARTIFACTS[name](args.quick, args.jobs)
         payload: Optional[dict] = None
+        extra_files: Dict[str, dict] = {}
         if isinstance(rendered, tuple):
-            rendered, payload = rendered
+            if len(rendered) == 3:
+                rendered, payload, extra_files = rendered
+            else:
+                rendered, payload = rendered
         print(rendered)
         if args.json and payload is not None:
-            os.makedirs(args.json, exist_ok=True)
-            path = os.path.join(args.json, f"{name}.json")
-            with open(path, "w") as handle:
-                json.dump(payload, handle, indent=2, allow_nan=False)
+            header = provenance_header(name, quick=args.quick, jobs=args.jobs)
+            path = _write_artifact(args.json, f"{name}.json", payload, header)
             print(f"(wrote {path})")
+            for filename, extra in extra_files.items():
+                path = _write_artifact(args.json, filename, extra, header)
+                print(f"(wrote {path})")
     return 0
 
 

@@ -40,6 +40,9 @@ from repro.chaos.telemetry import (
 from repro.errors import ReproError
 from repro.hat.protocols import EVENTUAL, MASTER, MAV, QUORUM, READ_COMMITTED
 from repro.hat.testbed import FIVE_REGION_DEPLOYMENT, Scenario, build_testbed
+from repro.obs.critical_path import aggregate_stack, decompose
+from repro.obs.export import chrome_trace
+from repro.obs.provenance import join_anomalies
 from repro.loadgen import (
     OpenLoopConfig,
     OpenLoopStats,
@@ -90,6 +93,12 @@ ELASTICITY_ANOMALIES = ("G0", "G1a", "IMP")
 #: against the coordinated baselines whose longer commit paths pull the
 #: knee down (``lock-sr`` is the serializable 2PL baseline).
 SATURATION_PROTOCOLS = (EVENTUAL, "causal", "mav+causal", MASTER, "lock-sr")
+
+#: Protocols swept by the trace experiment: one representative of each
+#: latency shape — the bare HAT base, the strongest sticky-available stack,
+#: the mastered baseline (remote RTT dominated), and serializable 2PL
+#: (lock-wait dominated).
+TRACE_PROTOCOLS = (EVENTUAL, "causal", MASTER, "lock-sr")
 
 
 @dataclass
@@ -959,3 +968,252 @@ def saturation_experiment(
               window_ms, key_count, seed)
              for protocol in protocols]
     return run_tasks(_saturation_protocol_run, tasks, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Tracing: critical-path decomposition and anomaly provenance
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TraceStackResult:
+    """One (protocol, condition) traced run's critical-path aggregate."""
+
+    protocol: str
+    #: ``healthy`` or ``partitioned`` (the canonical partition campaign).
+    condition: str
+    stats: RunStats
+    #: :func:`~repro.obs.critical_path.aggregate_stack` over every committed
+    #: transaction of the run.
+    critical_path: Dict[str, object]
+    #: The same aggregate restricted to committed transactions that
+    #: overlapped an active fault window (empty-shaped when healthy).
+    faulted_critical_path: Dict[str, object]
+    traces: int
+    spans: int
+    fault_windows: List[Dict[str, object]] = field(default_factory=list)
+    narration: List[NarrationEntry] = field(default_factory=list)
+
+
+@dataclass
+class TraceProvenanceResult:
+    """The traced, partitioned TPC-C run joined back to its anomalies."""
+
+    protocol: str
+    stats: RunStats
+    anomalies: TPCCAnomalyReport
+    #: :func:`~repro.obs.provenance.join_anomalies` output (JSON-ready).
+    provenance: Dict[str, object]
+    #: Chrome trace-event JSON of the implicated (plus faulted-context)
+    #: traces and the fault timeline — load at https://ui.perfetto.dev.
+    chrome: Dict[str, object]
+    spans: int
+    exported_traces: int
+    narration: List[NarrationEntry] = field(default_factory=list)
+
+
+def _transaction_breakdowns(tracer) -> List[Tuple[float, Dict[str, float],
+                                                  bool, bool]]:
+    """Per-transaction ``(latency, breakdown, committed, faulted)`` rows."""
+    children: Dict[int, List] = {}
+    for span in tracer.spans:
+        if span.parent_id is not None:
+            children.setdefault(span.trace_id, []).append(span)
+    rows = []
+    for root in tracer.spans:
+        if root.kind != "txn" or root.parent_id is not None:
+            continue
+        if root.end_ms is None or root.end_ms <= root.start_ms:
+            continue
+        breakdown = decompose(root, children.get(root.trace_id, ()))
+        rows.append((root.duration_ms, breakdown,
+                     bool(root.attrs.get("committed")), bool(root.faults)))
+    return rows
+
+
+def _trace_stack_run(
+    protocol: str,
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    clients_per_cluster: int,
+    duration_ms: float,
+    partition: bool,
+    baseline_ms: float,
+    partition_ms: float,
+    recovery_ms: float,
+    key_count: int,
+    seed: int,
+) -> TraceStackResult:
+    """One traced (protocol, condition) run (the parallel-sweep worker)."""
+    scenario = Scenario(regions=list(regions),
+                        servers_per_cluster=servers_per_cluster, seed=seed,
+                        tracing=True)
+    testbed = build_testbed(scenario)
+    tracer = testbed.tracer
+    nemesis = None
+    run_duration = duration_ms
+    client_kwargs: Dict[str, float] = {}
+    if partition:
+        campaign = canonical_partition_campaign(
+            list(regions), baseline_ms=baseline_ms,
+            partition_ms=partition_ms, recovery_ms=recovery_ms)
+        nemesis = Nemesis(testbed, campaign)
+        nemesis.install()
+        run_duration = campaign.duration_ms
+        # Bound how long a client wedges behind a reply the partition
+        # dropped (the timed-out RPC becomes the trace's ``retry`` segment).
+        client_kwargs["rpc_timeout_ms"] = 2_000.0
+        if protocol == "lock-sr":
+            client_kwargs["lock_timeout_ms"] = 2_000.0
+    config = RunConfig(
+        protocol=protocol,
+        scenario=scenario,
+        workload=YCSBConfig(key_count=key_count),
+        clients_per_cluster=clients_per_cluster,
+        duration_ms=run_duration,
+        warmup_ms=0.0,
+        seed=seed,
+        client_kwargs=client_kwargs,
+    )
+    stats = run_workload(config, testbed=testbed)
+    tracer.finalize(testbed.env.now)
+    rows = _transaction_breakdowns(tracer)
+    committed = [(latency, breakdown)
+                 for latency, breakdown, ok, _faulted in rows if ok]
+    faulted = [(latency, breakdown)
+               for latency, breakdown, ok, was_faulted in rows
+               if ok and was_faulted]
+    return TraceStackResult(
+        protocol=protocol,
+        condition="partitioned" if partition else "healthy",
+        stats=stats,
+        critical_path=aggregate_stack(committed),
+        faulted_critical_path=aggregate_stack(faulted),
+        traces=len({span.trace_id for span in tracer.spans}),
+        spans=len(tracer.spans),
+        fault_windows=[w.as_dict() for w in tracer.fault_windows],
+        narration=list(nemesis.log) if nemesis is not None else [],
+    )
+
+
+def _provenance_export_spans(tracer, provenance: Dict[str, object],
+                             context_traces: int) -> List:
+    """The spans worth shipping: implicated traces plus faulted context.
+
+    A full TPC-C run's span list is large; the artifact keeps every trace
+    the provenance joiner implicated, then pads with the first
+    ``context_traces`` transaction traces that overlapped a fault (falling
+    back to the earliest transactions when none did).  Selection is by
+    tracer-local trace id, so it is identical across ``--jobs`` layouts.
+    """
+    keep = {trace["trace_id"]
+            for entry in provenance["entries"]
+            for trace in entry["traces"]}
+    budget = len(keep) + context_traces
+    txn_roots = [span for span in tracer.spans
+                 if span.kind == "txn" and span.parent_id is None]
+    preferred = [span.trace_id for span in txn_roots if span.faults]
+    for trace_id in preferred + [span.trace_id for span in txn_roots]:
+        if len(keep) >= budget:
+            break
+        keep.add(trace_id)
+    return [span for span in tracer.spans if span.trace_id in keep]
+
+
+def _trace_tpcc_run(
+    protocol: str,
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    clients_per_cluster: int,
+    baseline_ms: float,
+    partition_ms: float,
+    recovery_ms: float,
+    context_traces: int,
+    seed: int,
+) -> TraceProvenanceResult:
+    """The traced TPC-C provenance leg: partitioned, audited, and joined."""
+    scenario = Scenario(regions=list(regions),
+                        servers_per_cluster=servers_per_cluster, seed=seed,
+                        tracing=True)
+    testbed = build_testbed(scenario)
+    tracer = testbed.tracer
+    recorder = HistoryRecorder()
+    factory = TPCCDriverFactory(config=default_tpcc_config())
+    run_preload(testbed, factory)
+    campaign = canonical_partition_campaign(
+        list(regions), baseline_ms=baseline_ms,
+        partition_ms=partition_ms, recovery_ms=recovery_ms)
+    nemesis = Nemesis(testbed, campaign)
+    nemesis.install()
+    config = RunConfig(
+        protocol=protocol,
+        scenario=scenario,
+        workload=factory,
+        clients_per_cluster=clients_per_cluster,
+        duration_ms=campaign.duration_ms,
+        warmup_ms=0.0,
+        seed=seed,
+        client_kwargs={"rpc_timeout_ms": 2_000.0},
+    )
+    stats = run_workload(config, testbed=testbed, recorder=recorder,
+                         preload=False)
+    tracer.finalize(testbed.env.now)
+    report = audit_tpcc_history(recorder.build())
+    provenance = join_anomalies(report, tracer)
+    exported = _provenance_export_spans(tracer, provenance, context_traces)
+    chrome = chrome_trace(exported, tracer.fault_windows,
+                          process_name=f"repro tpcc {protocol}")
+    return TraceProvenanceResult(
+        protocol=protocol,
+        stats=stats,
+        anomalies=report,
+        provenance=provenance,
+        chrome=chrome,
+        spans=len(tracer.spans),
+        exported_traces=len({span.trace_id for span in exported}),
+        narration=list(nemesis.log),
+    )
+
+
+def trace_experiment(
+    protocols: Sequence[str] = TRACE_PROTOCOLS,
+    regions: Sequence[str] = ("VA", "OR"),
+    servers_per_cluster: int = 2,
+    clients_per_cluster: int = 2,
+    duration_ms: float = 3_000.0,
+    baseline_ms: float = 1_000.0,
+    partition_ms: float = 2_000.0,
+    recovery_ms: float = 1_000.0,
+    key_count: int = 10_000,
+    provenance_protocol: str = EVENTUAL,
+    context_traces: int = 25,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> Tuple[List[TraceStackResult], TraceProvenanceResult]:
+    """Trace every protocol stack healthy and partitioned, then join anomalies.
+
+    Two legs.  The stack leg runs each protocol through the same closed-loop
+    YCSB workload twice — healthy, and under the canonical partition
+    campaign — with tracing on, and decomposes every committed transaction's
+    arrival-to-commit latency into exclusive critical-path segments
+    (queueing / RTT / service / retry / lock-wait / client).  The provenance
+    leg runs the contended TPC-C mix under the same campaign, audits the
+    history for Section 6.2 anomalies, and joins each one back to the traces
+    of its claimant transactions and the fault windows they overlapped.
+
+    With ``jobs=N`` the runs fan out across worker processes; every id in
+    the output is tracer-local, so the merged artifact is bit-identical to
+    a sequential run.
+    """
+    tasks = []
+    for protocol in protocols:
+        for partition in (False, True):
+            tasks.append((protocol, regions, servers_per_cluster,
+                          clients_per_cluster, duration_ms, partition,
+                          baseline_ms, partition_ms, recovery_ms, key_count,
+                          seed))
+    stack_results = run_tasks(_trace_stack_run, tasks, jobs=jobs)
+    provenance_result = _trace_tpcc_run(
+        provenance_protocol, regions, servers_per_cluster,
+        clients_per_cluster, baseline_ms, partition_ms, recovery_ms,
+        context_traces, seed)
+    return stack_results, provenance_result

@@ -161,6 +161,89 @@ def run_perf_matrix(quick: bool = True,
 
 
 # ---------------------------------------------------------------------------
+# Tracing overhead: measured, not assumed
+# ---------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class TracingOverhead:
+    """Wall-clock cost of causal tracing on the canonical causal scenario.
+
+    The tracing design contract is *zero extra simulation events*: span
+    bookkeeping is inline (no scheduled callbacks), so the traced run
+    executes the identical event sequence and commits the identical
+    transactions — ``events_on == events_off`` — and the ratio is pure
+    wall-clock bookkeeping cost, not a behaviour change.
+    """
+
+    wall_off_s: float
+    wall_on_s: float
+    events_off: int
+    events_on: int
+    committed_off: int
+    committed_on: int
+    #: Spans the traced run recorded (context for the cost).
+    spans: int
+
+    @property
+    def ratio(self) -> float:
+        return self.wall_on_s / self.wall_off_s if self.wall_off_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "wall_off_s": self.wall_off_s,
+            "wall_on_s": self.wall_on_s,
+            "ratio": self.ratio,
+            "events_off": self.events_off,
+            "events_on": self.events_on,
+            "committed_off": self.committed_off,
+            "committed_on": self.committed_on,
+            "spans": self.spans,
+        }
+
+
+def measure_tracing_overhead(duration_ms: float = 400.0) -> TracingOverhead:
+    """Run the same seeded causal scenario with tracing off, then on."""
+    measured = []
+    spans = 0
+    for tracing in (False, True):
+        config = RunConfig(
+            protocol="causal",
+            scenario=Scenario(regions=["VA", "OR"], servers_per_cluster=2,
+                              seed=0, tracing=tracing),
+            workload=YCSBConfig(),
+            clients_per_cluster=4,
+            duration_ms=duration_ms,
+            seed=0,
+        )
+        start = time.perf_counter()
+        testbed = build_testbed(config.scenario)
+        stats = run_workload(config, testbed=testbed)
+        wall_s = time.perf_counter() - start
+        measured.append((wall_s, testbed.env.events_executed, stats.committed))
+        if tracing and testbed.tracer is not None:
+            spans = len(testbed.tracer.spans)
+    (wall_off, events_off, committed_off) = measured[0]
+    (wall_on, events_on, committed_on) = measured[1]
+    return TracingOverhead(
+        wall_off_s=wall_off, wall_on_s=wall_on,
+        events_off=events_off, events_on=events_on,
+        committed_off=committed_off, committed_on=committed_on,
+        spans=spans,
+    )
+
+
+def format_tracing_overhead(overhead: TracingOverhead) -> str:
+    """Render the tracing-overhead measurement."""
+    return (
+        f"tracing overhead (canonical causal run): "
+        f"off {overhead.wall_off_s:.2f} s -> on {overhead.wall_on_s:.2f} s "
+        f"({overhead.ratio:.2f}x wall), {overhead.spans} spans; "
+        f"events {overhead.events_off} -> {overhead.events_on} "
+        f"({'identical' if overhead.events_on == overhead.events_off else 'DIVERGED'})"
+    )
+
+
+# ---------------------------------------------------------------------------
 # --jobs scaling: measured, not assumed
 # ---------------------------------------------------------------------------
 
@@ -292,7 +375,9 @@ def format_perf(results: List[PerfResult]) -> str:
 
 
 def perf_report_json(results: List[PerfResult],
-                     speedup: Optional[SpeedupResult] = None) -> Dict:
+                     speedup: Optional[SpeedupResult] = None,
+                     tracing_overhead: Optional[TracingOverhead] = None
+                     ) -> Dict:
     """The JSON artifact: per-case metrics plus aggregate throughput."""
     total_wall = sum(r.wall_s for r in results)
     total_events = sum(r.events for r in results)
@@ -308,4 +393,6 @@ def perf_report_json(results: List[PerfResult],
     }
     if speedup is not None:
         payload["parallel_speedup"] = speedup.as_dict()
+    if tracing_overhead is not None:
+        payload["tracing_overhead"] = tracing_overhead.as_dict()
     return payload

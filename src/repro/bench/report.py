@@ -10,7 +10,10 @@ from repro.bench.experiments import (
     ExperimentPoint,
     SaturationResult,
     TPCCSimResult,
+    TraceProvenanceResult,
+    TraceStackResult,
 )
+from repro.obs.critical_path import SEGMENTS
 
 
 def format_series(points: Sequence[ExperimentPoint],
@@ -176,10 +179,7 @@ def tpcc_sim_report_json(results: Sequence[TPCCSimResult]) -> Dict:
         }
         if result.partitioned:
             entry["phase_availability"] = dict(result.phase_availability)
-            entry["narration"] = [
-                {"at_ms": n.at_ms, "kind": n.kind, "description": n.description}
-                for n in result.narration
-            ]
+            entry["narration"] = [n.as_dict() for n in result.narration]
         payload["protocols"].append(entry)
     return payload
 
@@ -396,6 +396,106 @@ def saturation_report_json(results: Sequence[SaturationResult]) -> Dict:
                 "backlog": [s.as_dict() for s in result.heal.backlog],
             },
         })
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Tracing: critical-path decomposition and anomaly provenance
+# ---------------------------------------------------------------------------
+
+def format_trace(stacks: Sequence[TraceStackResult],
+                 provenance: Optional[TraceProvenanceResult] = None) -> str:
+    """Per-stack p99 critical-path breakdowns plus the provenance summary."""
+    if not stacks:
+        return "(no data)"
+    lines = [
+        "Critical-path latency decomposition (causal tracing on)",
+        "segments are exclusive and sum to arrival-to-commit latency; the "
+        "breakdown shown is the p99 transaction's",
+        "",
+    ]
+    header = (f"{'protocol':<12} {'condition':<12} {'txns':>6} {'mean':>8} "
+              f"{'p99':>8} " + "".join(f"{name:>10}" for name in SEGMENTS))
+    lines += [header, "-" * len(header)]
+    for result in stacks:
+        aggregate = result.critical_path
+        breakdown = aggregate["p99_breakdown_ms"]
+        lines.append(
+            f"{result.protocol:<12} {result.condition:<12} "
+            f"{aggregate['transactions']:>6} "
+            f"{aggregate['mean_latency_ms']:>8.2f} "
+            f"{aggregate['p99_latency_ms']:>8.2f} "
+            + "".join(f"{breakdown[name]:>10.2f}" for name in SEGMENTS))
+    if provenance is not None:
+        joined = provenance.provenance
+        lines += [
+            "",
+            "Anomaly provenance (traced TPC-C under the canonical partition "
+            "campaign):",
+            f"protocol {provenance.protocol}: "
+            f"{joined['anomalies_joined']} anomalies joined to traces, "
+            f"{joined['anomalies_concurrent']} with overlapping spans, "
+            f"{joined['anomalies_under_fault']} inside a fault window; "
+            f"{len(joined['implicated_faults'])} fault window(s) implicated",
+        ]
+        for entry in joined["entries"][:5]:
+            traces = " / ".join(
+                f"trace {t['trace_id']} [{t['start_ms']:.1f}, "
+                f"{t['end_ms']:.1f}) on {t['site']}"
+                for t in entry["traces"])
+            lines.append(
+                f"  {entry['anomaly']} w={entry['warehouse']} "
+                f"d={entry['district']} o={entry['order_id']}: {traces}"
+                + (f"  (faults {entry['fault_windows']})"
+                   if entry["fault_windows"] else ""))
+        if len(joined["entries"]) > 5:
+            lines.append(f"  ... and {len(joined['entries']) - 5} more")
+    narration = next((result.narration for result in stacks
+                      if result.condition == "partitioned"
+                      and result.narration), [])
+    if narration:
+        lines += ["", "nemesis narration (identical for every protocol):"]
+        lines += [f"  {entry}" for entry in narration]
+    return "\n".join(lines)
+
+
+def trace_report_json(stacks: Sequence[TraceStackResult],
+                      provenance: Optional[TraceProvenanceResult] = None
+                      ) -> Dict:
+    """A JSON-safe artifact of the trace experiment (no NaN anywhere).
+
+    The Chrome trace-event export is deliberately *not* embedded here —
+    the bench writes it beside this payload as ``trace_events.json``.
+    """
+    payload: Dict = {"figure": "trace", "segments": list(SEGMENTS),
+                     "stacks": []}
+    for result in stacks:
+        payload["stacks"].append({
+            "protocol": result.protocol,
+            "condition": result.condition,
+            "committed": result.stats.committed,
+            "aborted": result.stats.aborted,
+            "throughput_txn_s": result.stats.throughput_txn_s,
+            "traces": result.traces,
+            "spans": result.spans,
+            "critical_path": result.critical_path,
+            "faulted_critical_path": result.faulted_critical_path,
+            "fault_windows": result.fault_windows,
+            "narration": [n.as_dict() for n in result.narration],
+        })
+    if provenance is not None:
+        # "provenance" (bare) is reserved for the artifact header the CLI
+        # injects at write time; this is the anomaly join.
+        payload["anomaly_provenance"] = {
+            "protocol": provenance.protocol,
+            "committed": provenance.stats.committed,
+            "aborted": provenance.stats.aborted,
+            "anomalies": provenance.anomalies.as_dict(),
+            "spans": provenance.spans,
+            "exported_traces": provenance.exported_traces,
+            "narration": [n.as_dict() for n in provenance.narration],
+            **provenance.provenance,
+        }
     return payload
 
 

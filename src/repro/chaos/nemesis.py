@@ -11,7 +11,7 @@ artifacts so a timeline plot can be read against what the nemesis did.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.chaos.campaign import Campaign, compile_campaign
 from repro.errors import ReproError
@@ -20,14 +20,28 @@ from repro.net.faults import FaultEvent, FaultSchedule
 
 @dataclass(frozen=True)
 class NarrationEntry:
-    """One fired fault action, stamped with the simulated time it applied."""
+    """One fired fault action, stamped with the simulated time it applied.
+
+    This *is* the structured event log: machine-readable time, fault kind,
+    and targets, with ``__str__`` rendering the human narration on top of
+    the same record.  The trace joiner and the artifact reports both
+    consume it.
+    """
 
     at_ms: float
     kind: str
     description: str
+    #: Machine-readable fault targets (sites/regions/clusters; empty for
+    #: global actions such as ``heal``).
+    targets: Tuple[str, ...] = ()
 
     def __str__(self) -> str:
         return f"[t={self.at_ms:9.1f} ms] {self.kind:>15}: {self.description}"
+
+    def as_dict(self) -> dict:
+        return {"at_ms": self.at_ms, "kind": self.kind,
+                "description": self.description,
+                "targets": list(self.targets)}
 
 
 class Nemesis:
@@ -56,7 +70,14 @@ class Nemesis:
             at_ms=self.testbed.env.now,
             kind=event.kind,
             description=event.description,
+            targets=event.targets,
         ))
+        tracer = getattr(self.testbed, "tracer", None)
+        if tracer is not None:
+            # Feed the same structured record to the trace joiner so spans
+            # overlapping this fault are stamped with its window.
+            tracer.on_fault(event.kind, event.targets, self.testbed.env.now,
+                            event.description)
 
     def phase_at(self, t_ms: float) -> Optional[str]:
         """The campaign phase active at ``t_ms`` (see :class:`Campaign`)."""

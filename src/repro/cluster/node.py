@@ -78,6 +78,11 @@ class ServerNode:
         self._handlers: Dict[str, Handler] = {}
         self._queue: Deque[Tuple[Message, float]] = deque()
         self._busy_workers = 0
+        # Queue depth at admission, recorded per message so server spans can
+        # report it; only allocated when the network carries a tracer (the
+        # tracer must be installed before servers are built).
+        self._trace_depths: Optional[Deque[int]] = (
+            deque() if network.tracer is not None else None)
         network.register(name, self._on_message)
 
     # -- handler registration -------------------------------------------------
@@ -112,6 +117,8 @@ class ServerNode:
         except KeyError:
             per_kind[kind] = 1
         queue = self._queue
+        if self._trace_depths is not None:
+            self._trace_depths.append(len(queue))
         queue.append((message, self.env._now))
         if len(queue) > stats.max_queue_depth:
             stats.max_queue_depth = len(queue)
@@ -127,11 +134,25 @@ class ServerNode:
         cost = self.cost
         env = self.env
         handlers = self._handlers
+        depths = self._trace_depths
         while self._busy_workers < cost.concurrency and queue:
             message, enqueued_at = queue.popleft()
-            stats.queue_wait_ms += env._now - enqueued_at
+            queue_wait = env._now - enqueued_at
+            stats.queue_wait_ms += queue_wait
             self._busy_workers += 1
             handler = handlers.get(message.kind)
+            depth = depths.popleft() if depths is not None else 0
+            span = None
+            if depths is not None and message.trace is not None \
+                    and handler is not None:
+                tracer = self.network.tracer
+                span = tracer.start_span(f"server:{message.kind}", "server",
+                                         parent=message.trace, site=self.name,
+                                         start_ms=enqueued_at)
+                # Publish the server span as the ambient context so any
+                # messages the handler itself sends (MAV sibling notifies,
+                # master replication pushes) chain under it.
+                env.current_trace = tracer.context(span)
             if handler is None:
                 # Unknown request kinds get an error reply so clients fail
                 # fast instead of timing out.
@@ -145,6 +166,16 @@ class ServerNode:
                     size = payload.get("size_bytes", 0)
                     if size and isinstance(size, (int, float)):
                         service_ms += (size / 1024.0) * cost.per_kb_ms
+            if span is not None:
+                env.current_trace = None
+                # The span covers queue wait plus the service time the reply
+                # will take; the completion instant is known now, so no
+                # extra event is needed to close it.
+                span.end_ms = enqueued_at + queue_wait + service_ms
+                attrs = span.attrs
+                attrs["queue_wait_ms"] = queue_wait
+                attrs["service_ms"] = service_ms
+                attrs["queue_depth"] = depth
             stats.busy_ms += service_ms
             env.schedule(service_ms, self._complete, message, reply_payload)
 

@@ -68,7 +68,24 @@ class ProtocolClient:
     # -- public API ---------------------------------------------------------------
     def execute(self, transaction: Transaction) -> Process:
         """Run ``transaction``; the returned process resolves to its result."""
-        return self.node.env.process(self._execute(transaction))
+        process = self.node.env.process(self._execute(transaction))
+        tracer = self.node.network.tracer
+        if tracer is not None:
+            # The span carries no session_id: client ids come from a
+            # process-global counter, so they diverge between --jobs pool
+            # layouts.  The site (node name) identifies the session
+            # deterministically.
+            span = tracer.begin_transaction(
+                transaction.txn_id, self.protocol_name, self.node.name,
+                self.node.env.now, label=transaction.label)
+            context = tracer.context(span)
+            process.trace = context
+            transaction.trace = context
+            for op in transaction.operations:
+                # Operation is a frozen dataclass; the trace stamp is the
+                # one sanctioned mutation, applied only on traced runs.
+                object.__setattr__(op, "trace", context)
+        return process
 
     # -- core driver -------------------------------------------------------------
     def _execute(self, transaction: Transaction) -> Generator:
@@ -90,6 +107,11 @@ class ProtocolClient:
             result.error = str(timeout)
         result.end_ms = self.node.env.now
         result.writes = transaction.write_set if result.committed else {}
+        tracer = self.node.network.tracer
+        if tracer is not None:
+            tracer.finish_transaction(transaction.txn_id, result.end_ms,
+                                      result.committed, error=result.error,
+                                      remote_rpcs=result.remote_rpcs)
         if self.recorder is not None:
             self.recorder.record(transaction, result)
         return result
@@ -137,6 +159,13 @@ class ProtocolClient:
         reachable = self.node.reachable_replicas(key)
         if not reachable:
             raise UnavailableError(f"no reachable replica for key {key!r}")
+        tracer = self.node.network.tracer
+        if tracer is not None and self.node.env.current_trace is not None:
+            event = tracer.event("failover", self.node.env.current_trace,
+                                 self.node.name, self.node.env.now)
+            event.attrs["key"] = key
+            event.attrs["from"] = sticky
+            event.attrs["to"] = reachable[0]
         return reachable[0]
 
     def _observe(self, result: TransactionResult, key: str, version: Version) -> Version:
@@ -274,12 +303,26 @@ class LayeredClient(ProtocolClient):
 
     def _run(self, transaction: Transaction, result: TransactionResult) -> Generator:
         ctx = TxnContext(transaction=transaction, result=result, timestamp=None)
+        tracer = self.node.network.tracer
+        trace = transaction.trace if tracer is not None else None
+        env = self.node.env
         plan = list(transaction.operations)
         for layer in self.layers:
             plan = layer.plan(plan, ctx)
         ctx.plan = plan
         for layer in self.layers:
+            if trace is None:
+                yield from layer.begin(ctx)
+                continue
+            began_at = env.now
             yield from layer.begin(ctx)
+            if env.now > began_at:
+                # Only begins that did work (session dependency forwarding
+                # RPCs) earn a span; empty begins would drown the trace.
+                span = tracer.start_span(
+                    f"layer:{layer.token or type(layer).__name__}.begin",
+                    "layer", trace, self.node.name, began_at)
+                tracer.finish(span, env.now)
         for op in plan:
             if op.is_write:
                 op = resolve_derived(transaction, op, result)
@@ -292,7 +335,16 @@ class LayeredClient(ProtocolClient):
             else:
                 yield from self._scan_home_cluster(op, result)
         if self._write_layer is not None:
-            yield from self._write_layer.flush(ctx)
+            if trace is None:
+                yield from self._write_layer.flush(ctx)
+            else:
+                flushed_at = env.now
+                yield from self._write_layer.flush(ctx)
+                span = tracer.start_span(
+                    f"layer:{self._write_layer.token}.flush", "layer",
+                    trace, self.node.name, flushed_at)
+                span.attrs["writes"] = len(ctx.write_buffer)
+                tracer.finish(span, env.now)
         # Read-only transactions still get a commit timestamp (post-reads).
         self._txn_timestamp(ctx)
         for layer in self.layers:
@@ -354,4 +406,9 @@ class LayeredClient(ProtocolClient):
             return version
         if state is not None:
             state.cache_hits += 1
+        tracer = self.node.network.tracer
+        if tracer is not None and ctx.transaction.trace is not None:
+            event = tracer.event("session-repair", ctx.transaction.trace,
+                                 self.node.name, self.node.env.now)
+            event.attrs["key"] = version.key
         return floor

@@ -231,10 +231,29 @@ class HATServer(ServerNode):
     def _handle_lock_acquire(self, message: Message) -> Tuple[None, float]:
         payload = message.payload
         key, txn_id = payload["key"], payload["txn_id"]
+        tracer = self.network.tracer
+        if tracer is not None and message.trace is not None:
+            requested_at = self.env.now
+            trace = message.trace
 
-        def _grant() -> None:
-            if self.alive:
+            def _grant() -> None:
+                if not self.alive:
+                    return
+                granted_at = self.env.now
+                if granted_at > requested_at:
+                    # Only contended grants earn a lock-wait span; an
+                    # immediate grant spent no time blocked.
+                    span = tracer.start_span(f"lock-wait:{key}", "lock",
+                                             trace, self.name,
+                                             start_ms=requested_at)
+                    span.attrs["key"] = key
+                    span.attrs["wait_ms"] = granted_at - requested_at
+                    tracer.finish(span, granted_at)
                 self.network.reply(message, {"granted": True, "key": key})
+        else:
+            def _grant() -> None:
+                if self.alive:
+                    self.network.reply(message, {"granted": True, "key": key})
 
         self.locks.acquire(key, txn_id, _grant)
         return None, 0.02

@@ -71,6 +71,11 @@ class Scenario:
     #: Membership timeline: join/leave events the coordinator schedules on
     #: the sim clock at build time (requires ``placement="ring"``).
     membership: List[MembershipEvent] = field(default_factory=list)
+    #: Attach a :class:`repro.obs.trace.Tracer` to the deployment: every
+    #: transaction, RPC, server dispatch, anti-entropy push, and lock grant
+    #: records a causally linked span.  Off by default — a disabled run
+    #: executes the exact same event sequence as before tracing existed.
+    tracing: bool = False
 
     def cluster_regions(self) -> List[str]:
         """One entry per cluster (regions repeated ``clusters_per_region`` times)."""
@@ -94,6 +99,8 @@ class Testbed:
         self.config = config
         self.servers = servers
         self.streams = streams
+        #: The deployment's tracer (None unless ``Scenario.tracing``).
+        self.tracer = network.tracer
         self.clients: List[ProtocolClient] = []
         #: Servers decommissioned by the membership coordinator, kept for
         #: post-run inspection (they are unregistered and never serve again).
@@ -265,6 +272,13 @@ def build_testbed(scenario: Scenario) -> Testbed:
         latency = EC2LatencyModel(topology)
     network = Network(env, topology, latency, streams=streams,
                       partitions=PartitionManager())
+    if scenario.tracing:
+        # Installed before any server is built: ServerNode only allocates
+        # its per-message queue-depth ledger when the network carries a
+        # tracer at construction time.
+        from repro.obs.trace import Tracer
+
+        network.tracer = Tracer()
 
     servers: Dict[str, HATServer] = {}
     ae_config = AntiEntropyConfig(

@@ -39,6 +39,9 @@ class Operation:
     #: For derived writes: ``(reads so far) -> (key, value)``, resolved by the
     #: protocol client at execution time (see :func:`resolve_derived`).
     derive: Optional[Callable[[Dict[str, Any]], "tuple"]] = None
+    #: Trace context (:class:`repro.obs.trace.TraceContext`) stamped by a
+    #: traced client at execute time; None whenever tracing is off.
+    trace: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _OPERATION_KINDS:
@@ -113,6 +116,9 @@ class Transaction:
     #: Legacy TPC-C annotation (the generators also set ``label``); an
     #: explicit field because ``slots=True`` forbids ad-hoc attributes.
     tpcc_type: Optional[str] = None
+    #: Trace context of this transaction's root span (set by a traced
+    #: client at execute time; None whenever tracing is off).
+    trace: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not self.operations:

@@ -256,6 +256,12 @@ class MembershipCoordinator:
         env = self.testbed.env
         joiner_name = joiner.name
         flipped = False
+        tracer = getattr(self.testbed, "tracer", None)
+        window = None
+        if tracer is not None:
+            window = tracer.open_window(
+                "handoff", (cluster.name, joiner_name), record.start_ms,
+                f"join {joiner_name} into {cluster.name}")
         try:
             pending = cluster.pending_partitioner(add=joiner_name)
             owned_by_joiner = pending.owner_for
@@ -324,6 +330,8 @@ class MembershipCoordinator:
                 joiner.crash()
                 self.testbed.retire_server(joiner_name)
         finally:
+            if window is not None:
+                tracer.close_window(window, env.now)
             self._busy.discard(cluster.name)
 
     # -- leave ----------------------------------------------------------------
@@ -360,6 +368,12 @@ class MembershipCoordinator:
                 record.versions_moved += len(versions)
                 record.bytes_moved += bytes_per_version * len(versions)
 
+        tracer = getattr(self.testbed, "tracer", None)
+        window = None
+        if tracer is not None:
+            window = tracer.open_window(
+                "handoff", (cluster.name, leaver.name), record.start_ms,
+                f"drain {leaver.name} out of {cluster.name}")
         try:
             pending = cluster.pending_partitioner(remove=leaver.name)
             # Two pre-flip rounds: the delta round re-drains versions
@@ -414,4 +428,6 @@ class MembershipCoordinator:
             # orphan so no data is destroyed — either way the record says
             # why, and the cluster is free for the next event.
         finally:
+            if window is not None:
+                tracer.close_window(window, env.now)
             self._busy.discard(cluster.name)

@@ -11,7 +11,7 @@ single static partition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.errors import NetworkError
 
@@ -24,6 +24,10 @@ class FaultEvent:
     kind: str
     description: str
     apply: Callable[[], None]
+    #: Machine-readable target sites/regions/clusters of the fault (empty
+    #: for global actions like ``heal``); consumed by the trace joiner and
+    #: the structured nemesis log.
+    targets: Tuple[str, ...] = ()
 
 
 class FaultSchedule:
@@ -50,19 +54,23 @@ class FaultSchedule:
         groups = [list(group) for group in groups]
         self._add(at_ms, "partition",
                   f"partition regions into {groups}",
-                  lambda: self.testbed.partition_regions(groups))
+                  lambda: self.testbed.partition_regions(groups),
+                  targets=tuple(region for group in groups
+                                for region in group))
         return self
 
     def isolate_server(self, at_ms: float, server: str) -> "FaultSchedule":
         """Cut one server off from everything at ``at_ms``."""
         self._add(at_ms, "isolate", f"isolate {server}",
-                  lambda: self.testbed.network.partitions.isolate(server))
+                  lambda: self.testbed.network.partitions.isolate(server),
+                  targets=(server,))
         return self
 
     def rejoin_server(self, at_ms: float, server: str) -> "FaultSchedule":
         """Undo an isolation at ``at_ms``."""
         self._add(at_ms, "rejoin", f"rejoin {server}",
-                  lambda: self.testbed.network.partitions.rejoin(server))
+                  lambda: self.testbed.network.partitions.rejoin(server),
+                  targets=(server,))
         return self
 
     def heal(self, at_ms: float) -> "FaultSchedule":
@@ -100,7 +108,7 @@ class FaultSchedule:
         if server not in self.testbed.servers:
             raise NetworkError(f"unknown server {server!r}")
         self._add(at_ms, "crash", f"crash {server}",
-                  self.testbed.servers[server].crash)
+                  self.testbed.servers[server].crash, targets=(server,))
         if recover_after_ms is not None:
             self.recover_server(at_ms + recover_after_ms, server)
         return self
@@ -110,29 +118,33 @@ class FaultSchedule:
         if server not in self.testbed.servers:
             raise NetworkError(f"unknown server {server!r}")
         self._add(at_ms, "recover", f"recover {server}",
-                  self.testbed.servers[server].recover)
+                  self.testbed.servers[server].recover, targets=(server,))
         return self
 
     def scale_out(self, at_ms: float, cluster: str) -> "FaultSchedule":
         """Join a new server to ``cluster`` at ``at_ms`` (live rebalance)."""
         self._add(at_ms, "scale-out", f"scale out {cluster}",
-                  lambda: self.testbed.membership.scale_out(cluster))
+                  lambda: self.testbed.membership.scale_out(cluster),
+                  targets=(cluster,))
         return self
 
     def scale_in(self, at_ms: float, cluster: str) -> "FaultSchedule":
         """Decommission one server of ``cluster`` at ``at_ms`` (drain first)."""
         self._add(at_ms, "scale-in", f"scale in {cluster}",
-                  lambda: self.testbed.membership.scale_in(cluster))
+                  lambda: self.testbed.membership.scale_in(cluster),
+                  targets=(cluster,))
         return self
 
     def _add(self, at_ms: float, kind: str, description: str,
-             apply: Callable[[], None]) -> None:
+             apply: Callable[[], None],
+             targets: Tuple[str, ...] = ()) -> None:
         if at_ms < 0:
             raise NetworkError("fault events cannot be scheduled in the past")
         if self._installed:
             raise NetworkError("the schedule has already been installed")
         self._events.append(FaultEvent(at_ms=at_ms, kind=kind,
-                                       description=description, apply=apply))
+                                       description=description, apply=apply,
+                                       targets=targets))
 
     # -- installation -----------------------------------------------------------
     def install(self,

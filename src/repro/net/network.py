@@ -36,6 +36,8 @@ class Message:
     payload: Any = None
     msg_id: int = 0
     reply_to: Optional[int] = None
+    #: Trace context propagated with the message (None when tracing is off).
+    trace: Any = None
 
 
 @dataclass(slots=True)
@@ -69,6 +71,12 @@ class Network:
         #: it during degraded-latency epochs and restore it to 1.0 afterwards.
         self.latency_factor = 1.0
         self.stats = NetworkStats()
+        #: Span sink (a :class:`repro.obs.trace.Tracer`) when tracing is on;
+        #: None (the overwhelmingly common case) costs one attribute check
+        #: per message.
+        self.tracer = None
+        #: msg_id -> open RPC span, finished on reply or timeout.
+        self._rpc_spans: Dict[int, Any] = {}
         self._rng = (streams or RandomStreams(0)).stream("network")
         self._handlers: Dict[str, Callable[[Message], None]] = {}
         self._pending_rpcs: Dict[int, Future] = {}
@@ -95,7 +103,8 @@ class Network:
 
     # -- messaging ------------------------------------------------------------
     def send(self, src: str, dst: str, kind: str, payload: Any = None,
-             reply_to: Optional[int] = None, size_bytes: int = 0) -> int:
+             reply_to: Optional[int] = None, size_bytes: int = 0,
+             trace: Any = None) -> int:
         """Send a one-way message; returns its message id."""
         msg_id = next(self._msg_ids)
         stats = self.stats
@@ -119,6 +128,10 @@ class Network:
             msg_id=msg_id,
             reply_to=reply_to,
         )
+        if self.tracer is not None:
+            # Explicit context (RPC spans, anti-entropy) wins; otherwise the
+            # ambient context of whatever process/handler is sending.
+            message.trace = trace if trace is not None else self.env.current_trace
         delay = self.latency.one_way(self._rng, src, dst) * self.latency_factor
         self.env.schedule(delay, self._deliver, message)
         return msg_id
@@ -145,6 +158,10 @@ class Network:
         if reply_to is not None:
             pending = self._pending_rpcs.pop(reply_to, None)
             if pending is not None and not pending.triggered:
+                if self.tracer is not None:
+                    span = self._rpc_spans.pop(reply_to, None)
+                    if span is not None:
+                        self.tracer.finish(span, self.env._now)
                 pending.succeed(message.payload)
             return
         handler(message)
@@ -161,7 +178,18 @@ class Network:
     ) -> Future:
         """Send a request and return a future for the matching response."""
         response: Future = self.env.future()
-        msg_id = self.send(src, dst, kind, payload, size_bytes=size_bytes)
+        tracer = self.tracer
+        span = None
+        if tracer is not None and self.env.current_trace is not None:
+            span = tracer.start_span(f"rpc:{kind}", "rpc",
+                                     parent=self.env.current_trace,
+                                     site=src, start_ms=self.env._now)
+            span.attrs["dst"] = dst
+            msg_id = self.send(src, dst, kind, payload, size_bytes=size_bytes,
+                               trace=tracer.context(span))
+            self._rpc_spans[msg_id] = span
+        else:
+            msg_id = self.send(src, dst, kind, payload, size_bytes=size_bytes)
         self._pending_rpcs[msg_id] = response
         wheel = self._timeout_wheels.get(timeout_ms)
         if wheel is None:
@@ -182,6 +210,10 @@ class Network:
             pending = pending_rpcs.pop(msg_id, None)
             if pending is not None and not pending.triggered:
                 self.stats.rpc_timeouts += 1
+                if self.tracer is not None:
+                    span = self._rpc_spans.pop(msg_id, None)
+                    if span is not None:
+                        self.tracer.finish(span, now, status="timeout")
                 pending.fail(RequestTimeout(
                     f"rpc {kind!r} from {src} to {dst} timed out after "
                     f"{timeout_ms} ms"

@@ -1,0 +1,14 @@
+"""Observability: causal tracing, critical-path analysis, anomaly provenance.
+
+The tracing subsystem is *zero-overhead when disabled*: no tracer is
+constructed unless ``Scenario.tracing`` is set, and every instrumentation
+site guards on ``tracer is not None`` before doing any work.  When enabled,
+span bookkeeping is purely inline — no extra simulator events are scheduled,
+no randomness is consumed, and no timing changes — so traced runs execute
+the *exact same event sequence* as untraced ones (pinned by the perf-smoke
+overhead test).
+"""
+
+from repro.obs.trace import FaultWindow, Span, TraceContext, Tracer
+
+__all__ = ["FaultWindow", "Span", "TraceContext", "Tracer"]

@@ -1,0 +1,75 @@
+"""Exporters: Chrome trace-event JSON (Perfetto-loadable).
+
+The Chrome trace-event format is a flat list of events; we emit complete
+("X") duration events — one per span, with microsecond timestamps derived
+from the simulated clock — grouped into tracks by site (each server,
+client, and the fault timeline get their own ``tid``), plus "M" metadata
+events naming the tracks.  Load the file at https://ui.perfetto.dev or
+``chrome://tracing``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.obs.trace import FaultWindow, Span
+
+__all__ = ["chrome_trace"]
+
+#: The synthetic track carrying fault windows.
+FAULT_TRACK = "faults"
+
+
+def chrome_trace(spans: Iterable[Span],
+                 fault_windows: Iterable[FaultWindow] = (),
+                 process_name: str = "repro") -> Dict[str, object]:
+    """Render spans + fault windows as a Chrome trace-event JSON dict."""
+    spans = list(spans)
+    windows = list(fault_windows)
+    sites = sorted({span.site for span in spans})
+    tids = {site: index + 1 for index, site in enumerate(sites)}
+    fault_tid = len(sites) + 1
+    events: List[Dict[str, object]] = [
+        {"ph": "M", "pid": 1, "tid": 0, "name": "process_name",
+         "args": {"name": process_name}},
+    ]
+    for site in sites:
+        events.append({"ph": "M", "pid": 1, "tid": tids[site],
+                       "name": "thread_name", "args": {"name": site}})
+    if windows:
+        events.append({"ph": "M", "pid": 1, "tid": fault_tid,
+                       "name": "thread_name", "args": {"name": FAULT_TRACK}})
+    for span in spans:
+        end_ms = span.end_ms if span.end_ms is not None else span.start_ms
+        args: Dict[str, object] = {"trace_id": span.trace_id,
+                                   "span_id": span.span_id,
+                                   "status": span.status}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.faults:
+            args["faults"] = list(span.faults)
+        args.update(span.attrs)
+        events.append({
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "X",
+            "ts": span.start_ms * 1000.0,
+            "dur": max(0.0, end_ms - span.start_ms) * 1000.0,
+            "pid": 1,
+            "tid": tids[span.site],
+            "args": args,
+        })
+    for window in windows:
+        end_ms = window.end_ms if window.end_ms is not None else window.start_ms
+        events.append({
+            "name": f"{window.kind}:{','.join(window.targets) or '*'}",
+            "cat": "fault",
+            "ph": "X",
+            "ts": window.start_ms * 1000.0,
+            "dur": max(0.0, end_ms - window.start_ms) * 1000.0,
+            "pid": 1,
+            "tid": fault_tid,
+            "args": {"window_id": window.window_id,
+                     "description": window.description},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

@@ -186,11 +186,24 @@ class AntiEntropyService:
             if deferred:
                 retry.append((version, delivered))
         self._dirty.extend(retry)
+        tracer = self.server.network.tracer
         for peer, versions in batches.items():
             for start in range(0, len(versions), self.settings.batch_size):
                 chunk = versions[start:start + self.settings.batch_size]
                 self.stats.versions_pushed += len(chunk)
                 self.stats.messages += 1
+                trace = None
+                if tracer is not None:
+                    # Anti-entropy is background work no client caused:
+                    # each push starts a trace of its own, and the receiving
+                    # server's span chains under it.
+                    span = tracer.start_span(
+                        f"ae.push:{self.server.name}->{peer}", "ae",
+                        parent=None, site=self.server.name,
+                        start_ms=self.env.now)
+                    span.attrs["versions"] = len(chunk)
+                    tracer.finish(span, self.env.now)
+                    trace = tracer.context(span)
                 self.server.network.send(
                     src=self.server.name,
                     dst=peer,
@@ -200,4 +213,5 @@ class AntiEntropyService:
                         "size_bytes": self.settings.bytes_per_version * len(chunk),
                     },
                     size_bytes=self.settings.bytes_per_version * len(chunk),
+                    trace=trace,
                 )

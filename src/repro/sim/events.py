@@ -134,7 +134,8 @@ class Environment:
     experiment code and the reported numbers aligned.
     """
 
-    __slots__ = ("_now", "_queue", "_immediate", "_next_seq", "events_executed")
+    __slots__ = ("_now", "_queue", "_immediate", "_next_seq", "events_executed",
+                 "current_trace")
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
@@ -147,6 +148,11 @@ class Environment:
         self._next_seq = 0
         #: Total callbacks executed, for the perf harness (events/sec).
         self.events_executed = 0
+        #: Ambient trace context while traced code runs (see repro.obs).
+        #: Published by Process._resume / server dispatch, read by the
+        #: network when stamping outbound messages; always None when
+        #: tracing is off.
+        self.current_trace = None
 
     @property
     def now(self) -> float:

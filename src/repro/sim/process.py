@@ -24,7 +24,7 @@ from repro.sim.events import Environment, Future
 class Process(Future):
     """Drives a generator as a simulated process."""
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "trace")
 
     def __init__(self, env: Environment, generator: Generator):
         if not hasattr(generator, "send"):
@@ -35,6 +35,9 @@ class Process(Future):
         super().__init__(env)
         self._generator = generator
         self._waiting_on: Future | None = None
+        #: Trace context published as ``env.current_trace`` while the
+        #: generator body runs (set by traced clients; None otherwise).
+        self.trace = None
         # Start the process on the next tick so construction never reenters
         # user code synchronously.
         env.schedule_now(self._resume, None, None)
@@ -51,6 +54,14 @@ class Process(Future):
         if self.triggered:
             return
         self._waiting_on = None
+        # Publish the ambient trace context for the duration of the
+        # generator step.  Resolving futures only *enqueues* callbacks (it
+        # never runs user code nested inside this frame), so everything the
+        # step does synchronously — including messages it sends — is
+        # attributed exactly to this process's trace.
+        trace = self.trace
+        if trace is not None:
+            self.env.current_trace = trace
         try:
             if exception is not None:
                 target = self._generator.throw(exception)
@@ -62,6 +73,9 @@ class Process(Future):
         except BaseException as exc:  # noqa: BLE001 - propagate via future
             self.fail(exc)
             return
+        finally:
+            if trace is not None:
+                self.env.current_trace = None
         self._wait_for(self._coerce(target))
 
     def _coerce(self, target: Any) -> Future:

@@ -1,0 +1,56 @@
+"""Golden pins: tracing must not disturb untraced artifacts.
+
+Two layers of bit-exactness, captured BEFORE the tracing subsystem landed:
+
+* the full quick availability artifact payload (pre-header, as the report
+  function produces it), and
+* a single canonical kernel run's event/commit/latency numbers.
+
+If either drifts, tracing (or any other change) perturbed the untraced
+simulation path — the zero-overhead-when-disabled contract is broken.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+DATA = Path(__file__).resolve().parent.parent / "data"
+
+
+class TestGoldenAvailability:
+    def test_quick_payload_is_bit_identical(self):
+        from repro.bench.__main__ import _availability
+
+        _, payload = _availability(True, None)
+        rendered = json.dumps(payload, indent=2, allow_nan=False) + "\n"
+        golden = (DATA / "golden_availability_quick.json").read_text()
+        assert rendered == golden, (
+            "availability --quick payload drifted from the pre-tracing "
+            "golden — the untraced simulation path is no longer bit-exact"
+        )
+
+
+class TestGoldenKernelRun:
+    def test_canonical_causal_run_matches_pin(self):
+        from repro.bench.runner import RunConfig, run_workload
+        from repro.hat.testbed import Scenario, build_testbed
+        from repro.workloads.ycsb import YCSBConfig
+
+        golden = json.loads((DATA / "golden_kernel_run.json").read_text())
+        config = RunConfig(
+            protocol="causal",
+            scenario=Scenario(regions=["VA", "OR"], servers_per_cluster=2,
+                              seed=0),
+            workload=YCSBConfig(),
+            duration_ms=400.0,
+            seed=0,
+        )
+        testbed = build_testbed(config.scenario)
+        stats = run_workload(config, testbed=testbed)
+        assert testbed.env.events_executed == golden["events_executed"]
+        assert stats.committed == golden["committed"]
+        assert stats.aborted == golden["aborted"]
+        assert stats.throughput_txn_s == golden["throughput_txn_s"]
+        assert stats.latency.mean == golden["mean_latency_ms"]
+        assert stats.latency.p95 == golden["p95_latency_ms"]

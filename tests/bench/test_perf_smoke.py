@@ -58,6 +58,41 @@ class TestPerfSmoke:
         json.dumps(payload, allow_nan=False)
 
 
+class TestTracingOverhead:
+    def test_tracing_disabled_is_zero_overhead(self):
+        """The traced run must execute the IDENTICAL event sequence.
+
+        Tracing is bookkeeping layered on the same events — if enabling it
+        changes the event count or the commit count, spans are perturbing
+        the simulation and every traced artifact is suspect.
+        """
+        from repro.bench.perf import measure_tracing_overhead
+
+        overhead = measure_tracing_overhead(duration_ms=200.0)
+        assert overhead.events_on == overhead.events_off
+        assert overhead.committed_on == overhead.committed_off
+        assert overhead.committed_off > 0
+        assert overhead.spans > 0
+        assert overhead.ratio > 0
+
+    def test_json_field_in_perf_payload(self):
+        from repro.bench.perf import TracingOverhead
+
+        results = run_perf_matrix(quick=True,
+                                  cases=canonical_perf_matrix()[:1])
+        overhead = TracingOverhead(wall_off_s=1.0, wall_on_s=1.2,
+                                   events_off=100, events_on=100,
+                                   committed_off=10, committed_on=10,
+                                   spans=50)
+        payload = perf_report_json(results, tracing_overhead=overhead)
+        entry = payload["tracing_overhead"]
+        assert entry["events_off"] == entry["events_on"] == 100
+        assert entry["ratio"] == pytest.approx(1.2)
+        import json
+
+        json.dumps(payload, allow_nan=False)
+
+
 class TestParallelSpeedup:
     def test_contract(self):
         from repro.bench.perf import (

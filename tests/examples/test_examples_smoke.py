@@ -23,6 +23,7 @@ QUICK_FLAGS = {
     "availability_under_partitions.py": ["--quick"],
     "elastic_scale_out.py": ["--quick"],
     "saturation_ramp.py": ["--quick"],
+    "trace_an_anomaly.py": ["--quick"],
 }
 
 #: Artifacts a script is expected to leave in its working directory.
@@ -30,6 +31,7 @@ EXPECTED_ARTIFACTS = {
     "availability_under_partitions.py": ["availability.json"],
     "elastic_scale_out.py": ["elasticity.json"],
     "saturation_ramp.py": ["saturation.json"],
+    "trace_an_anomaly.py": ["trace.json", "trace_events.json"],
 }
 
 

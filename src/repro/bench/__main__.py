@@ -30,6 +30,7 @@ from repro.bench.experiments import (
     figure4_transaction_length,
     figure5_write_proportion,
     figure6_scale_out,
+    metastability_experiment,
     saturation_experiment,
     tpcc_sim_experiment,
     trace_experiment,
@@ -41,10 +42,12 @@ from repro.bench.report import (
     format_availability,
     format_elasticity,
     format_latency_and_throughput,
+    format_metastability,
     format_saturation,
     format_series,
     format_tpcc_sim,
     format_trace,
+    metastability_report_json,
     saturation_report_json,
     tpcc_sim_report_json,
     trace_report_json,
@@ -255,6 +258,30 @@ def _saturation(quick: bool, jobs=None):
     return format_saturation(results), saturation_report_json(results)
 
 
+def _metastability(quick: bool, jobs=None):
+    """Metastable-failure artifact: the same trigger, with and without defenses.
+
+    Each protocol runs the canonical partition campaign twice over a
+    capacity-coupled deployment at an offered rate below its healthy knee.
+    Undefended (unbounded queues, one-burst anti-entropy catch-up, naive
+    retries) the heal wedges a worker past the RPC deadline and the retry
+    storm sustains the overload after the trigger is gone — post-heal
+    goodput stays pinned.  Defended (bounded admission queues with
+    adaptive-LIFO shedding, capped catch-up rounds, retry budgets, circuit
+    breakers) the same trigger is absorbed, with a measured time to
+    recover.
+    """
+    scale = 1.0 if quick else 2.0
+    results = metastability_experiment(
+        baseline_ms=1_500.0 * scale,
+        partition_ms=2_000.0 * scale,
+        recovery_ms=6_000.0 * scale,
+        window_ms=250.0 * scale,
+        jobs=jobs,
+    )
+    return format_metastability(results), metastability_report_json(results)
+
+
 def _trace(quick: bool, jobs=None):
     """Tracing artifact: per-stack p99 critical-path breakdown + provenance.
 
@@ -295,6 +322,7 @@ ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "availability": _availability,
     "elasticity": _elasticity,
     "saturation": _saturation,
+    "metastability": _metastability,
     "perf": _perf,
     "trace": _trace,
 }
@@ -319,7 +347,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write <DIR>/<artifact>.json for artifacts "
                              "with a JSON form (currently: availability, "
-                             "elasticity, saturation, tpcc-sim, perf, trace)")
+                             "elasticity, saturation, metastability, "
+                             "tpcc-sim, perf, trace)")
     return parser
 
 

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.adya.history import HistoryRecorder
 from repro.adya.phenomena import detect
+from repro.cluster.node import ServiceCostModel
 from repro.bench.metrics import RunStats
 from repro.bench.parallel import run_configs, run_tasks
 from repro.bench.runner import RunConfig, run_workload
@@ -40,6 +41,8 @@ from repro.chaos.telemetry import (
 from repro.errors import ReproError
 from repro.hat.protocols import EVENTUAL, MASTER, MAV, QUORUM, READ_COMMITTED
 from repro.hat.testbed import FIVE_REGION_DEPLOYMENT, Scenario, build_testbed
+from repro.overload import AdmissionConfig, RetryPolicy
+from repro.replication.antientropy import AntiEntropyConfig
 from repro.obs.critical_path import aggregate_stack, decompose
 from repro.obs.export import chrome_trace
 from repro.obs.provenance import join_anomalies
@@ -99,6 +102,14 @@ SATURATION_PROTOCOLS = (EVENTUAL, "causal", "mav+causal", MASTER, "lock-sr")
 #: the mastered baseline (remote RTT dominated), and serializable 2PL
 #: (lock-wait dominated).
 TRACE_PROTOCOLS = (EVENTUAL, "causal", MASTER, "lock-sr")
+
+#: Timeout discipline shared by every chaos leg: bound how long a client
+#: wedges behind a reply the partition dropped — with the default 10 s
+#: deadline a client mid-RPC at partition onset would stay dark for the
+#: entire campaign.  The 2PL client waits on its own lock deadline, so
+#: lock protocols get the same bound (``client_kwargs`` applies it only
+#: to them).  One policy object replaces the per-experiment kwargs dicts.
+CHAOS_RETRY = RetryPolicy(rpc_timeout_ms=2_000.0, lock_timeout_ms=2_000.0)
 
 
 @dataclass
@@ -671,10 +682,7 @@ def _elasticity_protocol_run(
         duration_ms=campaign.duration_ms,
         warmup_ms=0.0,
         seed=seed,
-        # Bound how long a client wedges behind a reply the partition
-        # dropped: with the default 10 s deadline a client mid-RPC at
-        # partition onset would stay dark for the entire campaign.
-        client_kwargs={"rpc_timeout_ms": 2_000.0},
+        retry=CHAOS_RETRY,
     )
     stats = run_workload(config, testbed=testbed, recorder=recorder,
                          telemetry=telemetry)
@@ -881,13 +889,6 @@ def _saturation_protocol_run(
     nemesis = Nemesis(heal_testbed, campaign)
     nemesis.install()
     heal_start_ms = heal_testbed.env.now
-    # Bound how long a session wedges behind a reply the partition dropped;
-    # with the default 10 s deadlines one request could pin its session for
-    # the whole campaign.  The 2PL client waits on its own lock deadline, so
-    # it gets the same bound (only it accepts that keyword).
-    heal_client_kwargs: Dict[str, float] = {"rpc_timeout_ms": 2_000.0}
-    if protocol == "lock-sr":
-        heal_client_kwargs["lock_timeout_ms"] = 2_000.0
     heal_stats = run_open_loop(
         OpenLoopConfig(
             protocol=protocol,
@@ -898,7 +899,7 @@ def _saturation_protocol_run(
             sessions_per_cluster=sessions_per_cluster,
             duration_ms=campaign.duration_ms,
             seed=seed + 1,
-            client_kwargs=heal_client_kwargs,
+            retry=CHAOS_RETRY,
         ),
         testbed=heal_testbed)
     heal_at_ms = heal_start_ms + baseline_ms + partition_ms
@@ -968,6 +969,267 @@ def saturation_experiment(
               window_ms, key_count, seed)
              for protocol in protocols]
     return run_tasks(_saturation_protocol_run, tasks, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Metastability: trigger, sustaining retry feedback, (defended) recovery
+# ---------------------------------------------------------------------------
+
+#: Protocols swept by the metastability experiment: the HAT base, the
+#: strongest sticky-available stack, and the two coordinated baselines
+#: whose partition behaviour (fail-fast master checks, lock deadlines)
+#: feeds the retry storm differently.
+METASTABILITY_PROTOCOLS = (EVENTUAL, "causal", MASTER, "lock-sr")
+
+#: Post-heal goodput at or below this fraction of the healthy baseline is
+#: *pinned*: the trigger is gone, the load never exceeded healthy capacity,
+#: and the system still cannot climb back — the metastable signature.
+METASTABILITY_PIN_FRACTION = 0.7
+
+#: The trailing mean committed rate must reach this fraction of the healthy
+#: baseline for the run to count as recovered.
+METASTABILITY_RECOVERY_FRACTION = 0.9
+
+
+@dataclass
+class MetastabilityRun:
+    """One (protocol, defenses on/off) leg through the trigger campaign."""
+
+    protocol: str
+    #: ``True`` ran with the full defense stack (bounded admission queues,
+    #: capped catch-up rounds, retry budget, circuit breaker); ``False``
+    #: ran the naive configuration (unbounded queues, one-burst catch-up,
+    #: aggressive retries).
+    defended: bool
+    stats: OpenLoopStats
+    #: Per-window offered/committed/backlog series, merged across regions.
+    windows: List[SaturationWindow]
+    campaign: Campaign
+    #: When the partition healed (the trigger ended), on the window clock.
+    heal_at_ms: float
+    #: Mean committed rate over the pre-trigger baseline windows.
+    healthy_rate_s: float
+    #: Mean committed rate over every post-heal window.
+    post_heal_rate_s: float
+    #: Post-heal goodput stuck at or below the pin fraction of healthy.
+    pinned: bool
+    #: Milliseconds after heal until the *trailing* mean committed rate
+    #: (that window through end of run) first reached the recovery
+    #: fraction of healthy.  None = never recovered within the run.
+    time_to_recover_ms: Optional[float]
+    narration: List[NarrationEntry] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> bool:
+        return self.time_to_recover_ms is not None
+
+
+@dataclass
+class MetastabilityResult:
+    """One protocol's undefended and defended legs, side by side."""
+
+    protocol: str
+    undefended: MetastabilityRun
+    defended: MetastabilityRun
+
+
+def _mean_rate_s(windows: Sequence[SaturationWindow]) -> float:
+    if not windows:
+        return 0.0
+    return sum(w.committed_rate_s for w in windows) / len(windows)
+
+
+def _metastability_run(
+    protocol: str,
+    defended: bool,
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    rate_s: float,
+    sessions_per_cluster: int,
+    users: int,
+    baseline_ms: float,
+    partition_ms: float,
+    recovery_ms: float,
+    window_ms: float,
+    request_overhead_ms: float,
+    send_cost_ms_per_version: float,
+    ae_interval_ms: float,
+    rpc_timeout_ms: float,
+    max_attempts: int,
+    max_queue_depth: int,
+    operations_per_transaction: int,
+    write_proportion: float,
+    key_count: int,
+    seed: int,
+) -> MetastabilityRun:
+    """One (protocol, defenses) leg (the parallel-sweep worker).
+
+    Both legs run the *same* trigger — the canonical partition campaign at
+    the same offered rate, timeouts, and retry count — over a deployment
+    whose anti-entropy catch-up is coupled to service capacity.  They
+    differ only in the defenses:
+
+    * undefended — unbounded server queues, an uncapped catch-up round
+      (the whole partition backlog lands as one worker-wedging burst), and
+      retries with no budget or breaker.  The burst stalls foreground past
+      the RPC deadline, every session times out and retries, and the
+      amplified load (timed-out requests still consume full service
+      capacity — pure wasted work) sustains the overload after the trigger
+      is gone: Bronson et al.'s metastable failure.
+    * defended — bounded queues with adaptive-LIFO shedding (explicit
+      fast ``Overloaded`` rejections instead of silent queueing), the
+      capped catch-up default (the same backlog drains in interleavable
+      chunks), a retry budget bounding amplification to ~1.1x, and a
+      circuit breaker that sheds client pressure while the server is dark.
+    """
+    service_cost = ServiceCostModel(request_overhead_ms=request_overhead_ms,
+                                    concurrency=1)
+    if defended:
+        anti_entropy = AntiEntropyConfig(
+            interval_ms=ae_interval_ms,
+            capacity_coupled=True,
+            send_cost_ms_per_version=send_cost_ms_per_version)
+        admission: Optional[AdmissionConfig] = AdmissionConfig(
+            max_queue_depth=max_queue_depth, policy="adaptive-lifo")
+        retry = RetryPolicy(
+            rpc_timeout_ms=rpc_timeout_ms, lock_timeout_ms=rpc_timeout_ms,
+            max_attempts=max_attempts, backoff_base_ms=10.0,
+            backoff_cap_ms=80.0, retry_budget_ratio=0.1,
+            breaker_failure_threshold=8, breaker_cooldown_ms=500.0)
+    else:
+        # An explicit effectively-unbounded cap (winning over the coupled
+        # default) reproduces the naive deployment: the first post-heal
+        # round pushes the entire backlog as one request.
+        anti_entropy = AntiEntropyConfig(
+            interval_ms=ae_interval_ms,
+            capacity_coupled=True,
+            send_cost_ms_per_version=send_cost_ms_per_version,
+            max_versions_per_round=1_000_000)
+        admission = None
+        retry = RetryPolicy(
+            rpc_timeout_ms=rpc_timeout_ms, lock_timeout_ms=rpc_timeout_ms,
+            max_attempts=max_attempts, backoff_base_ms=10.0,
+            backoff_cap_ms=80.0)
+    scenario = Scenario(regions=list(regions),
+                        servers_per_cluster=servers_per_cluster, seed=seed,
+                        service_cost=service_cost,
+                        anti_entropy=anti_entropy,
+                        admission=admission)
+    testbed = build_testbed(scenario)
+    campaign = canonical_partition_campaign(
+        list(regions), baseline_ms=baseline_ms,
+        partition_ms=partition_ms, recovery_ms=recovery_ms)
+    nemesis = Nemesis(testbed, campaign)
+    nemesis.install()
+    start_ms = testbed.env.now
+    telemetry = TimelineTelemetry(window_ms=window_ms)
+    stats = run_open_loop(
+        OpenLoopConfig(
+            protocol=protocol,
+            scenario=scenario,
+            arrivals=PoissonArrivals(rate_s),
+            workload=YCSBConfig(
+                key_count=key_count,
+                operations_per_transaction=operations_per_transaction,
+                write_proportion=write_proportion),
+            users=users,
+            sessions_per_cluster=sessions_per_cluster,
+            duration_ms=campaign.duration_ms,
+            seed=seed,
+            retry=retry,
+        ),
+        testbed=testbed, telemetry=telemetry)
+    windows = _merged_windows(telemetry.build())
+    heal_at_ms = start_ms + baseline_ms + partition_ms
+    baseline_windows = [w for w in windows
+                        if w.end_ms <= start_ms + baseline_ms]
+    post_windows = [w for w in windows if w.start_ms >= heal_at_ms]
+    healthy_rate_s = _mean_rate_s(baseline_windows)
+    post_heal_rate_s = _mean_rate_s(post_windows)
+    pinned = bool(post_windows) and healthy_rate_s > 0.0 and (
+        post_heal_rate_s <= METASTABILITY_PIN_FRACTION * healthy_rate_s)
+    time_to_recover_ms: Optional[float] = None
+    if healthy_rate_s > 0.0:
+        threshold = METASTABILITY_RECOVERY_FRACTION * healthy_rate_s
+        for index in range(len(post_windows)):
+            if _mean_rate_s(post_windows[index:]) >= threshold:
+                time_to_recover_ms = (post_windows[index].start_ms
+                                      - heal_at_ms)
+                break
+    return MetastabilityRun(
+        protocol=protocol,
+        defended=defended,
+        stats=stats,
+        windows=windows,
+        campaign=campaign,
+        heal_at_ms=heal_at_ms,
+        healthy_rate_s=healthy_rate_s,
+        post_heal_rate_s=post_heal_rate_s,
+        pinned=pinned,
+        time_to_recover_ms=time_to_recover_ms,
+        narration=list(nemesis.log),
+    )
+
+
+def metastability_experiment(
+    protocols: Sequence[str] = METASTABILITY_PROTOCOLS,
+    regions: Sequence[str] = ("VA", "OR"),
+    servers_per_cluster: int = 1,
+    #: Per-cluster offered rate — below the deployment's healthy knee, so
+    #: only retry amplification (never raw load) can exceed capacity.
+    rate_s: float = 120.0,
+    #: Large pool: the retry storm needs concurrency to sustain itself.
+    sessions_per_cluster: int = 256,
+    users: int = 100_000,
+    baseline_ms: float = 1_500.0,
+    partition_ms: float = 2_000.0,
+    recovery_ms: float = 6_000.0,
+    window_ms: float = 250.0,
+    #: Raised per-request cost over a single worker: utilization sits
+    #: high enough that amplified load crosses capacity.
+    request_overhead_ms: float = 2.5,
+    send_cost_ms_per_version: float = 2.0,
+    ae_interval_ms: float = 25.0,
+    #: Deliberately tight deadline — the knob every retry-storm postmortem
+    #: names.  The undefended catch-up burst wedges a worker for longer
+    #: than this, so every queued request's client gives up and re-sends.
+    rpc_timeout_ms: float = 250.0,
+    max_attempts: int = 6,
+    max_queue_depth: int = 48,
+    #: Short interactive requests (the retry-storm literature's shape):
+    #: a timed-out attempt wastes a full request's worth of server work,
+    #: so ``max_attempts`` retries amplify load past what the same
+    #: arrival would cost when healthy.
+    operations_per_transaction: int = 2,
+    write_proportion: float = 0.5,
+    key_count: int = 10_000,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[MetastabilityResult]:
+    """Drive each protocol through trigger -> feedback -> recovery, twice.
+
+    The campaign partitions the regions (the *trigger*), during which each
+    side's anti-entropy backlog accumulates; the heal releases the backlog
+    into capacity-coupled catch-up while timed-out sessions retry (the
+    *sustaining feedback*).  The undefended leg shows the metastable
+    signature — post-heal goodput pinned below the healthy baseline long
+    after the trigger ended — and the defended leg shows the same trigger
+    absorbed by admission control, bounded catch-up, retry budgets, and
+    circuit breaking, with a measured time to recover.  With ``jobs=N``
+    the (protocol, defenses) legs fan out across worker processes;
+    results merge in input order, bit-identical to a sequential run.
+    """
+    tasks = [(protocol, defended, regions, servers_per_cluster, rate_s,
+              sessions_per_cluster, users, baseline_ms, partition_ms,
+              recovery_ms, window_ms, request_overhead_ms,
+              send_cost_ms_per_version, ae_interval_ms, rpc_timeout_ms,
+              max_attempts, max_queue_depth, operations_per_transaction,
+              write_proportion, key_count, seed)
+             for protocol in protocols for defended in (False, True)]
+    runs = run_tasks(_metastability_run, tasks, jobs=jobs)
+    return [MetastabilityResult(protocol=undefended.protocol,
+                                undefended=undefended, defended=defended)
+            for undefended, defended in zip(runs[0::2], runs[1::2])]
 
 
 # ---------------------------------------------------------------------------
@@ -1051,7 +1313,7 @@ def _trace_stack_run(
     tracer = testbed.tracer
     nemesis = None
     run_duration = duration_ms
-    client_kwargs: Dict[str, float] = {}
+    retry: Optional[RetryPolicy] = None
     if partition:
         campaign = canonical_partition_campaign(
             list(regions), baseline_ms=baseline_ms,
@@ -1059,11 +1321,8 @@ def _trace_stack_run(
         nemesis = Nemesis(testbed, campaign)
         nemesis.install()
         run_duration = campaign.duration_ms
-        # Bound how long a client wedges behind a reply the partition
-        # dropped (the timed-out RPC becomes the trace's ``retry`` segment).
-        client_kwargs["rpc_timeout_ms"] = 2_000.0
-        if protocol == "lock-sr":
-            client_kwargs["lock_timeout_ms"] = 2_000.0
+        # The timed-out RPC becomes the trace's ``retry`` segment.
+        retry = CHAOS_RETRY
     config = RunConfig(
         protocol=protocol,
         scenario=scenario,
@@ -1072,7 +1331,7 @@ def _trace_stack_run(
         duration_ms=run_duration,
         warmup_ms=0.0,
         seed=seed,
-        client_kwargs=client_kwargs,
+        retry=retry,
     )
     stats = run_workload(config, testbed=testbed)
     tracer.finalize(testbed.env.now)
@@ -1152,7 +1411,7 @@ def _trace_tpcc_run(
         duration_ms=campaign.duration_ms,
         warmup_ms=0.0,
         seed=seed,
-        client_kwargs={"rpc_timeout_ms": 2_000.0},
+        retry=CHAOS_RETRY,
     )
     stats = run_workload(config, testbed=testbed, recorder=recorder,
                          preload=False)

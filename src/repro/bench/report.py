@@ -5,9 +5,13 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.bench.experiments import (
+    METASTABILITY_PIN_FRACTION,
+    METASTABILITY_RECOVERY_FRACTION,
     AvailabilityTimeline,
     ElasticityResult,
     ExperimentPoint,
+    MetastabilityResult,
+    MetastabilityRun,
     SaturationResult,
     TPCCSimResult,
     TraceProvenanceResult,
@@ -395,6 +399,107 @@ def saturation_report_json(results: Sequence[SaturationResult]) -> Dict:
                 "drain_ms": result.drain_ms,
                 "backlog": [s.as_dict() for s in result.heal.backlog],
             },
+        })
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Metastability: trigger, sustaining retry feedback, (defended) recovery
+# ---------------------------------------------------------------------------
+
+def _metastability_row(run: MetastabilityRun) -> str:
+    stats = run.stats
+    verdict = "PINNED" if run.pinned else (
+        "recovered" if run.recovered else "degraded")
+    return (f"{run.protocol:<10} {'on' if run.defended else 'off':>8} "
+            f"{run.healthy_rate_s:>10.1f} {run.post_heal_rate_s:>10.1f} "
+            + _ms_cell(run.time_to_recover_ms, 11)
+            + f" {stats.retries:>8} {stats.retry_denials:>8} "
+            f"{stats.breaker_denials:>8} {stats.server_rejected:>8} "
+            f"{verdict:>10}")
+
+
+def format_metastability(results: Sequence[MetastabilityResult]) -> str:
+    """Undefended versus defended legs, one pair of rows per protocol."""
+    if not results:
+        return "(no data)"
+    campaign = results[0].undefended.campaign
+    lines = [
+        "Metastable failure: trigger -> sustaining retry feedback -> recovery",
+        "phases: " + "  ".join(
+            f"{p.name} [{p.start_ms:g}, {p.end_ms:g})"
+            for p in campaign.phases),
+        "the partition is the trigger; after it heals, capacity-coupled "
+        "catch-up plus timed-out",
+        "sessions retrying sustain the overload — unless admission control, "
+        "bounded catch-up,",
+        "retry budgets, and circuit breaking bound the feedback.",
+        f"PINNED: post-heal goodput <= {METASTABILITY_PIN_FRACTION:g}x "
+        f"healthy; recovered: trailing goodput reached "
+        f"{METASTABILITY_RECOVERY_FRACTION:g}x healthy",
+        "",
+    ]
+    header = (f"{'protocol':<10} {'defense':>8} {'healthy/s':>10} "
+              f"{'post-heal/s':>10} {'recover-ms':>11} {'retries':>8} "
+              f"{'budget-':>8} {'breaker-':>8} {'server-':>8} "
+              f"{'verdict':>10}")
+    subheader = (f"{'':<10} {'':>8} {'':>10} {'':>10} {'':>11} {'':>8} "
+                 f"{'denied':>8} {'denied':>8} {'shed':>8} {'':>10}")
+    lines += [header, subheader, "-" * len(header)]
+    for result in results:
+        lines.append(_metastability_row(result.undefended))
+        lines.append(_metastability_row(result.defended))
+    narration = [entry for result in results[:1]
+                 for entry in result.undefended.narration]
+    if narration:
+        lines += ["", "nemesis narration (identical for every leg):"]
+        lines += [f"  {entry}" for entry in narration]
+    return "\n".join(lines)
+
+
+def _metastability_run_json(run: MetastabilityRun) -> Dict:
+    stats = run.stats
+    return {
+        "defended": run.defended,
+        "healthy_rate_s": run.healthy_rate_s,
+        "post_heal_rate_s": run.post_heal_rate_s,
+        "pinned": run.pinned,
+        "recovered": run.recovered,
+        "time_to_recover_ms": run.time_to_recover_ms,
+        "heal_at_ms": run.heal_at_ms,
+        "offered": stats.offered,
+        "committed": stats.committed,
+        "aborted": stats.aborted,
+        "retries": stats.retries,
+        "retry_denials": stats.retry_denials,
+        "breaker_opens": stats.breaker_opens,
+        "breaker_denials": stats.breaker_denials,
+        "server_rejected": stats.server_rejected,
+        "backlog_final": stats.backlog_final,
+        "windows": [w.as_dict() for w in run.windows],
+    }
+
+
+def metastability_report_json(results: Sequence[MetastabilityResult]) -> Dict:
+    """A JSON-safe artifact of the metastability experiment."""
+    payload: Dict = {
+        "figure": "metastability",
+        "pin_fraction": METASTABILITY_PIN_FRACTION,
+        "recovery_fraction": METASTABILITY_RECOVERY_FRACTION,
+        "protocols": [],
+    }
+    if results:
+        campaign = results[0].undefended.campaign
+        payload["campaign"] = {
+            "duration_ms": campaign.duration_ms,
+            "phases": [{"name": p.name, "start_ms": p.start_ms,
+                        "end_ms": p.end_ms} for p in campaign.phases],
+        }
+    for result in results:
+        payload["protocols"].append({
+            "protocol": result.protocol,
+            "undefended": _metastability_run_json(result.undefended),
+            "defended": _metastability_run_json(result.defended),
         })
     return payload
 

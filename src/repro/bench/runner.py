@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.bench.metrics import RunStats, summarize_run
 from repro.hat.testbed import Scenario, Testbed, build_testbed
+from repro.overload.retry import RetryPolicy
 from repro.hat.transaction import TransactionResult
 from repro.workloads.base import Workload, as_workload_factory, run_preload
 from repro.workloads.ycsb import YCSBConfig
@@ -70,11 +71,31 @@ class RunConfig:
     grace_period_ms: Optional[float] = None
     #: Retry back-off after an abort that consumed no simulated time (see
     #: ``ZERO_TIME_ABORT_BACKOFF_MS``); only chaos runs ever hit it.
+    #: Superseded by :attr:`retry` when one is set.
     abort_backoff_ms: float = ZERO_TIME_ABORT_BACKOFF_MS
     #: Extra keyword arguments for every client the run constructs (e.g.
     #: ``{"rpc_timeout_ms": 2_000.0}`` so chaos runs bound how long a
-    #: client wedges behind a reply the partition dropped).
+    #: client wedges behind a reply the partition dropped).  Prefer
+    #: :attr:`retry` for timeout knobs; explicit entries here still win.
     client_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: One documented home for the run's timeout/backoff discipline (RPC
+    #: deadline, per-protocol lock deadline, zero-time-abort pacing) —
+    #: see :class:`repro.overload.retry.RetryPolicy`.  ``None`` keeps the
+    #: legacy knobs above.
+    retry: Optional[RetryPolicy] = None
+
+    def effective_client_kwargs(self) -> Dict[str, Any]:
+        """Client kwargs with the retry policy's deadlines folded in."""
+        if self.retry is None:
+            return self.client_kwargs
+        merged = self.retry.client_kwargs(self.protocol)
+        merged.update(self.client_kwargs)
+        return merged
+
+    def effective_abort_backoff_ms(self) -> float:
+        if self.retry is None:
+            return self.abort_backoff_ms
+        return self.retry.abort_backoff_ms
 
     @property
     def total_clients(self) -> int:
@@ -136,6 +157,9 @@ def _run_workload_inner(config: RunConfig, testbed: Testbed, env,
         # with the warmup-excluding aggregate stats.
         telemetry.start_run(start_ms + config.warmup_ms, end_ms)
 
+    abort_backoff_ms = config.effective_abort_backoff_ms()
+    client_kwargs = config.effective_client_kwargs()
+
     def client_loop(client, workload: Workload, group: str):
         observe = getattr(workload, "observe", None)
         while env.now < end_ms:
@@ -152,7 +176,7 @@ def _run_workload_inner(config: RunConfig, testbed: Testbed, env,
             if not result.committed and result.latency_ms <= 0.0:
                 # Fail-fast abort (e.g. the master's local reachability
                 # check): back off so the simulated clock always advances.
-                yield env.timeout(config.abort_backoff_ms)
+                yield env.timeout(abort_backoff_ms)
 
     client_index = 0
     for cluster_name in testbed.config.cluster_names:
@@ -161,7 +185,7 @@ def _run_workload_inner(config: RunConfig, testbed: Testbed, env,
             client = testbed.make_client(config.protocol,
                                          home_cluster=cluster_name,
                                          recorder=recorder,
-                                         **config.client_kwargs)
+                                         **client_kwargs)
             workload = factory.build(seed=config.seed * 10_000 + client_index,
                                      session_id=client_index)
             env.process(client_loop(client, workload, group))

@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Optional, Tuple
 
 from repro.errors import ReproError
-from repro.net.network import Message, Network
+from repro.net.network import Message, Network, OVERLOADED_REPLY
+from repro.overload.admission import AdmissionConfig
 from repro.sim import Environment
 from repro.storage.lsm import LSMCostModel, LSMStore
 from repro.storage.wal import WriteAheadLog
@@ -44,6 +45,10 @@ class ServerStats:
     busy_ms: float = 0.0
     queue_wait_ms: float = 0.0
     max_queue_depth: int = 0
+    #: Foreground requests shed by admission control (queue-full rejections
+    #: plus CoDel-style stale drops at dequeue).  0 unless the server was
+    #: built with an :class:`~repro.overload.admission.AdmissionConfig`.
+    rejected: int = 0
     per_kind: Dict[str, int] = field(default_factory=dict)
 
 
@@ -64,11 +69,14 @@ class ServerNode:
         cost_model: Optional[ServiceCostModel] = None,
         lsm_cost: Optional[LSMCostModel] = None,
         keep_versions: Optional[int] = None,
+        admission: Optional[AdmissionConfig] = None,
     ):
         self.env = env
         self.network = network
         self.name = name
         self.cost = cost_model or ServiceCostModel()
+        #: Admission controller (None = the historical unbounded FIFO).
+        self.admission = admission
         self.store = LSMStore(cost_model=lsm_cost, keep_versions=keep_versions)
         # Server WAL records only matter for replay/debugging; bound their
         # retention so every replica's memory stays flat over long runs.
@@ -117,6 +125,21 @@ class ServerNode:
         except KeyError:
             per_kind[kind] = 1
         queue = self._queue
+        admission = self.admission
+        if (admission is not None
+                and len(queue) >= admission.max_queue_depth
+                and kind in admission.sheddable_kinds):
+            if admission.policy == "adaptive-lifo":
+                # Evict the oldest sheddable request instead of the
+                # newcomer: its client has waited longest and is the most
+                # likely to have already given up.  Background messages
+                # (anti-entropy, replication) are never evicted.
+                if not self._evict_oldest_sheddable(admission):
+                    self._reject(message, "queue-full")
+                    return
+            else:
+                self._reject(message, "queue-full")
+                return
         if self._trace_depths is not None:
             self._trace_depths.append(len(queue))
         queue.append((message, self.env._now))
@@ -124,6 +147,37 @@ class ServerNode:
             stats.max_queue_depth = len(queue)
         if self._busy_workers < self.cost.concurrency:
             self._maybe_start_worker()
+
+    def _evict_oldest_sheddable(self, admission: AdmissionConfig) -> bool:
+        """Shed the oldest sheddable queued request; False = none found."""
+        queue = self._queue
+        for index, (queued, _enqueued_at) in enumerate(queue):
+            if queued.kind in admission.sheddable_kinds:
+                del queue[index]
+                if self._trace_depths is not None:
+                    del self._trace_depths[index]
+                self._reject(queued, "evicted")
+                return True
+        return False
+
+    def _reject(self, message: Message, reason: str) -> None:
+        """Refuse ``message`` with an explicit overload rejection.
+
+        Rejection is deliberately cheap — no worker is occupied and no
+        service time accrues — because shedding that costs as much as
+        serving defends nothing.  The reply still pays a network hop, so
+        the client learns of the rejection one latency sample later.
+        """
+        self.stats.rejected += 1
+        network = self.network
+        tracer = network.tracer
+        if tracer is not None and message.trace is not None:
+            event = tracer.event("queue-reject", message.trace, self.name,
+                                 self.env._now)
+            event.attrs["kind"] = message.kind
+            event.attrs["reason"] = reason
+            event.attrs["queue_depth"] = len(self._queue)
+        network.reply(message, OVERLOADED_REPLY)
 
     def _maybe_start_worker(self) -> None:
         # Dequeue, dispatch, and completion scheduling are fused into one
@@ -135,13 +189,34 @@ class ServerNode:
         env = self.env
         handlers = self._handlers
         depths = self._trace_depths
+        admission = self.admission
         while self._busy_workers < cost.concurrency and queue:
-            message, enqueued_at = queue.popleft()
+            if admission is None:
+                message, enqueued_at = queue.popleft()
+                depth = depths.popleft() if depths is not None else 0
+            else:
+                if (admission.policy == "adaptive-lifo"
+                        and len(queue) > admission.lifo_depth):
+                    # Overloaded: serve newest-first so fresh requests see
+                    # low latency while the backlog drains.
+                    message, enqueued_at = queue.pop()
+                    depth = depths.pop() if depths is not None else 0
+                else:
+                    message, enqueued_at = queue.popleft()
+                    depth = depths.popleft() if depths is not None else 0
+                if (admission.policy == "codel"
+                        and env._now - enqueued_at > admission.codel_target_ms
+                        and message.kind in admission.sheddable_kinds):
+                    # Deadline-aware drop-on-dequeue: this request's queue
+                    # wait already blew the latency target, so serving it
+                    # would likely be wasted work — shed it for a token
+                    # cost instead.
+                    self._reject(message, "stale")
+                    continue
             queue_wait = env._now - enqueued_at
             stats.queue_wait_ms += queue_wait
             self._busy_workers += 1
             handler = handlers.get(message.kind)
-            depth = depths.popleft() if depths is not None else 0
             span = None
             if depths is not None and message.trace is not None \
                     and handler is not None:

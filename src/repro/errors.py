@@ -81,6 +81,17 @@ class UnavailableError(ExternalAbort):
     """
 
 
+class OverloadedError(ExternalAbort):
+    """A server (or the client's own circuit breaker) shed the request.
+
+    Raised when admission control rejects a request at a bounded queue, or
+    when an open circuit breaker fails an attempt fast.  An explicit
+    overload signal is the load-shedding contract: the client learns
+    *immediately* that the system is saturated instead of discovering it
+    via a timed-out RPC that still consumed server capacity.
+    """
+
+
 class IntegrityViolation(InternalAbort):
     """A declared integrity constraint would have been violated."""
 

@@ -24,7 +24,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional
 
 from repro.cluster.client import ClientNode
-from repro.errors import RequestTimeout, TransactionAborted, UnavailableError
+from repro.errors import (
+    OverloadedError,
+    RequestTimeout,
+    TransactionAborted,
+    UnavailableError,
+)
 from repro.hat.transaction import (
     Operation,
     ReadObservation,
@@ -55,11 +60,17 @@ class ProtocolClient:
 
     def __init__(self, node: ClientNode, recorder: Optional[object] = None,
                  value_bytes: int = DEFAULT_VALUE_BYTES,
-                 rpc_timeout_ms: Optional[float] = None):
+                 rpc_timeout_ms: Optional[float] = None,
+                 breaker: Optional[object] = None):
         self.node = node
         self.recorder = recorder
         self.value_bytes = value_bytes
         self.rpc_timeout_ms = rpc_timeout_ms
+        #: Optional :class:`~repro.overload.retry.CircuitBreaker`, usually
+        #: shared by every session of one pool.  While open, transactions
+        #: fail fast with :class:`~repro.errors.OverloadedError` before
+        #: issuing a single RPC — the client-side half of load shedding.
+        self.breaker = breaker
         self.session_id = node.client_id
         self._home_servers = frozenset(
             node.config.cluster(node.home_cluster).servers
@@ -97,7 +108,17 @@ class ProtocolClient:
             session_id=self.session_id,
             start_ms=self.node.env.now,
         )
+        breaker = self.breaker
+        denied = False
         try:
+            if breaker is not None and not breaker.allow(self.node.env.now):
+                denied = True
+                tracer = self.node.network.tracer
+                if tracer is not None and transaction.trace is not None:
+                    event = tracer.event("breaker-open", transaction.trace,
+                                         self.node.name, self.node.env.now)
+                    event.attrs["protocol"] = self.protocol_name
+                raise OverloadedError("circuit breaker open")
             yield from self._run(transaction, result)
             result.committed = True
         except TransactionAborted as abort:
@@ -106,6 +127,13 @@ class ProtocolClient:
         except RequestTimeout as timeout:
             result.error = str(timeout)
         result.end_ms = self.node.env.now
+        if breaker is not None and not denied:
+            # A denied attempt says nothing about the backend, so it is
+            # not recorded.  An internal abort counts as success: the
+            # system completed the round trip, the transaction chose to
+            # abort itself.
+            breaker.record(result.committed or result.internal_abort,
+                           result.end_ms)
         result.writes = transaction.write_set if result.committed else {}
         tracer = self.node.network.tracer
         if tracer is not None:

@@ -62,9 +62,11 @@ class HATServer(ServerNode):
         anti_entropy: Optional[AntiEntropyConfig] = None,
         durable: bool = True,
         keep_versions: Optional[int] = None,
+        admission=None,
     ):
         super().__init__(env, network, name, cost_model=cost_model,
-                         lsm_cost=lsm_cost, keep_versions=keep_versions)
+                         lsm_cost=lsm_cost, keep_versions=keep_versions,
+                         admission=admission)
         self.config = config
         self.durable = durable
         self.mav = MAVState(replication_factor=config.replication_factor())
@@ -91,6 +93,7 @@ class HATServer(ServerNode):
         self.register_handler("quorum.put", self._handle_ru_put)
         self.register_handler("quorum.get", self._handle_ru_get)
         self.register_handler("ae.push", self._handle_ae_push)
+        self.register_handler("ae.round", self._handle_ae_round)
         self.register_handler("handoff.fetch", self._handle_handoff_fetch)
         self.register_handler("handoff.offer", self._handle_handoff_offer)
 
@@ -308,8 +311,14 @@ class HATServer(ServerNode):
         self.handoff.versions_sent += len(versions)
         self.handoff.bytes_sent += (
             self.anti_entropy.settings.bytes_per_version * len(versions))
-        # Cost model: one memtable/SSTable read per streamed key batch.
-        cost = 0.02 * max(1, len(versions))
+        # Cost model: one memtable/SSTable read per streamed key batch —
+        # or, under capacity coupling, the same per-version streaming cost
+        # anti-entropy catch-up pays, so a joiner's bulk fetch competes
+        # with foreground traffic the same way a heal backlog does.
+        settings = self.anti_entropy.settings
+        per_version = (settings.send_cost_ms_per_version
+                       if settings.capacity_coupled else 0.02)
+        cost = per_version * max(1, len(versions))
         return {"versions": versions, "all_keys": all_keys}, cost
 
     def _handle_handoff_offer(self, message: Message) -> Tuple[dict, float]:
@@ -327,6 +336,16 @@ class HATServer(ServerNode):
         return {"ok": True, "count": len(versions)}, cost
 
     # -- anti-entropy -----------------------------------------------------------------------------
+    def _handle_ae_round(self, message: Message) -> Tuple[None, float]:
+        """One capacity-coupled anti-entropy push round, as queued work.
+
+        Only sent when :attr:`AntiEntropyConfig.capacity_coupled` is on:
+        the round's serialization/streaming cost occupies this server's
+        worker, so a large catch-up backlog visibly steals capacity from
+        foreground requests instead of being free.
+        """
+        return None, self.anti_entropy.run_coupled_round()
+
     def _handle_ae_push(self, message: Message) -> Tuple[None, float]:
         versions: List[Version] = message.payload["versions"]
         cost = 0.0

@@ -28,6 +28,7 @@ from repro.net.latency import EC2LatencyModel, FixedLatencyModel, LatencyModel
 from repro.net.network import Network
 from repro.net.partitions import PartitionManager
 from repro.net.topology import Topology
+from repro.overload.admission import AdmissionConfig
 from repro.replication.antientropy import AntiEntropyConfig
 from repro.sim import Environment, RandomStreams
 from repro.storage.lsm import LSMCostModel
@@ -53,6 +54,14 @@ class Scenario:
     #: the historical flush-everything behaviour); elastic scenarios bound
     #: it so handoff/heal catch-up bursts do not saturate replicas.
     anti_entropy_max_per_round: Optional[int] = None
+    #: Full anti-entropy override (capacity coupling, send costs, batch
+    #: sizes).  When set it wins over the two legacy fields above; the
+    #: overload experiments use it to couple catch-up to service capacity.
+    anti_entropy: Optional[AntiEntropyConfig] = None
+    #: Server-side admission control: bounded request queues with a
+    #: shedding policy (see :mod:`repro.overload.admission`).  ``None``
+    #: keeps the historical unbounded FIFO.
+    admission: Optional[AdmissionConfig] = None
     #: Versions retained per key on every server (None = unbounded).  The
     #: default bounds replica memory in long chaos runs — servers used to
     #: keep every version forever — while staying deep enough that
@@ -181,11 +190,10 @@ class Testbed:
             self.env, self.network, server_name, self.config,
             cost_model=self.scenario.service_cost,
             lsm_cost=self.scenario.lsm_cost,
-            anti_entropy=AntiEntropyConfig(
-                interval_ms=self.scenario.anti_entropy_interval_ms,
-                max_versions_per_round=self.scenario.anti_entropy_max_per_round),
+            anti_entropy=_anti_entropy_config(self.scenario),
             durable=self.scenario.durable,
             keep_versions=self.scenario.keep_versions,
+            admission=self.scenario.admission,
         )
         self.servers[server_name] = server
         return server
@@ -245,6 +253,15 @@ class Testbed:
         return worst
 
 
+def _anti_entropy_config(scenario: Scenario) -> AntiEntropyConfig:
+    """The anti-entropy settings a scenario implies (override wins)."""
+    if scenario.anti_entropy is not None:
+        return scenario.anti_entropy
+    return AntiEntropyConfig(
+        interval_ms=scenario.anti_entropy_interval_ms,
+        max_versions_per_round=scenario.anti_entropy_max_per_round)
+
+
 def build_testbed(scenario: Scenario) -> Testbed:
     """Construct every component of a simulated deployment."""
     env = Environment()
@@ -281,9 +298,7 @@ def build_testbed(scenario: Scenario) -> Testbed:
         network.tracer = Tracer()
 
     servers: Dict[str, HATServer] = {}
-    ae_config = AntiEntropyConfig(
-        interval_ms=scenario.anti_entropy_interval_ms,
-        max_versions_per_round=scenario.anti_entropy_max_per_round)
+    ae_config = _anti_entropy_config(scenario)
     for cluster in config.clusters:
         for server_name in cluster.servers:
             server = HATServer(
@@ -293,6 +308,7 @@ def build_testbed(scenario: Scenario) -> Testbed:
                 anti_entropy=ae_config,
                 durable=scenario.durable,
                 keep_versions=scenario.keep_versions,
+                admission=scenario.admission,
             )
             server.anti_entropy.start()
             servers[server_name] = server

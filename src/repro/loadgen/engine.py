@@ -28,6 +28,7 @@ from repro.hat.testbed import Scenario, Testbed, build_testbed
 from repro.loadgen.arrivals import ArrivalProcess
 from repro.loadgen.sessions import PendingRequest, SessionPool
 from repro.loadgen.sketch import LatencyDigest
+from repro.overload.retry import RetryBudget, RetryPolicy
 from repro.sim import RandomStreams
 from repro.workloads.base import as_arrival_source, run_preload
 from repro.workloads.ycsb import YCSBConfig
@@ -65,6 +66,14 @@ class OpenLoopConfig:
     backlog_sample_ms: float = 100.0
     #: Extra keyword arguments for every session's protocol client.
     client_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Client-side retry discipline (see
+    #: :class:`repro.overload.retry.RetryPolicy`).  A failed (externally
+    #: aborted) request is retried by its session with jittered
+    #: exponential backoff, gated by the per-session retry budget and the
+    #: per-pool circuit breaker the policy configures.  ``None`` — and a
+    #: policy with the default ``max_attempts=1`` — never retries, which
+    #: is the engine's historical behaviour.
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.arrivals is None:
@@ -120,6 +129,16 @@ class OpenLoopStats:
     digest: LatencyDigest
     #: Periodic queue/in-flight snapshots (the saturation/drain signal).
     backlog: List[BacklogSample] = field(default_factory=list)
+    #: Retries the sessions issued (0 unless a retry policy allows them).
+    retries: int = 0
+    #: Retries refused because a session's token bucket was empty.
+    retry_denials: int = 0
+    #: Times a pool's circuit breaker opened.
+    breaker_opens: int = 0
+    #: Attempts an open breaker failed fast.
+    breaker_denials: int = 0
+    #: Requests the servers shed via admission control during the run.
+    server_rejected: int = 0
 
     @property
     def completed(self) -> int:
@@ -146,13 +165,16 @@ class _ShedResult:
 
 
 class _Counters:
-    __slots__ = ("offered", "committed", "aborted", "operations")
+    __slots__ = ("offered", "committed", "aborted", "operations", "retries",
+                 "retry_denials")
 
     def __init__(self):
         self.offered = 0
         self.committed = 0
         self.aborted = 0
         self.operations = 0
+        self.retries = 0
+        self.retry_denials = 0
 
 
 def run_open_loop(config: OpenLoopConfig,
@@ -207,11 +229,39 @@ def _run_open_loop_inner(config: OpenLoopConfig, testbed: Testbed, env,
     pools: List[SessionPool] = []
     groups: List[str] = []
 
-    def make_handler(group: str):
+    retry = config.retry
+    breakers: List[Any] = []
+
+    def make_handler(group: str, budgets: Dict[int, RetryBudget],
+                     retry_rng):
         def handle(client, session_id: int, request: PendingRequest):
             transaction = request.transaction
             transaction.session_id = session_id
+            budget = None
+            if retry is not None and retry.retry_budget_ratio is not None:
+                budget = budgets.get(session_id)
+                if budget is None:
+                    budget = budgets[session_id] = retry.make_budget()
+                budget.deposit()
             result = yield client.execute(transaction)
+            if retry is not None:
+                # Externally aborted requests (timeouts, overload
+                # rejections, unreachable replicas) are retried with
+                # jittered exponential backoff, bounded by the attempt
+                # cap and the session's retry budget; an internal abort
+                # is the transaction's own choice and is never retried.
+                attempt_no = 1
+                while (not result.committed and not result.internal_abort
+                       and attempt_no < retry.max_attempts):
+                    if budget is not None and not budget.withdraw():
+                        counters.retry_denials += 1
+                        break
+                    delay = retry.backoff_ms(attempt_no, retry_rng)
+                    if delay > 0.0:
+                        yield env.timeout(delay)
+                    counters.retries += 1
+                    attempt_no += 1
+                    result = yield client.execute(transaction)
             if result.end_ms >= measure_start:
                 if result.committed:
                     counters.committed += 1
@@ -258,17 +308,35 @@ def _run_open_loop_inner(config: OpenLoopConfig, testbed: Testbed, env,
                                                   pool.backlog)
             yield env.timeout(config.backlog_sample_ms)
 
+    rejected_before = sum(server.stats.rejected
+                          for server in testbed.servers.values())
     for cluster_index, cluster_name in enumerate(testbed.config.cluster_names):
         group = testbed.config.cluster(cluster_name).region
+        pool_kwargs = config.client_kwargs
+        retry_rng = None
+        if retry is not None:
+            # The policy's deadlines become client kwargs (explicit
+            # entries in config.client_kwargs still win).  Each pool gets
+            # its own jitter stream (named streams are independent, so a
+            # run without a retry policy draws the exact same random
+            # sequences as before the policy existed) and, when
+            # configured, one circuit breaker shared by its sessions.
+            pool_kwargs = retry.client_kwargs(config.protocol)
+            pool_kwargs.update(config.client_kwargs)
+            retry_rng = streams.stream(f"retry:{cluster_name}")
+            breaker = retry.make_breaker()
+            if breaker is not None:
+                breakers.append(breaker)
+                pool_kwargs["breaker"] = breaker
         pool = SessionPool(
             testbed, config.protocol, cluster_name,
             size=config.sessions_per_cluster, recorder=recorder,
             max_queue=config.max_queue,
             first_session_id=cluster_index * config.sessions_per_cluster,
-            client_kwargs=config.client_kwargs)
+            client_kwargs=pool_kwargs)
         pools.append(pool)
         groups.append(group)
-        pool.start(make_handler(group))
+        pool.start(make_handler(group, {}, retry_rng))
         source = as_arrival_source(config.workload,
                                    seed=config.seed * 10_000 + cluster_index)
         env.process(dispatcher(
@@ -294,4 +362,11 @@ def _run_open_loop_inner(config: OpenLoopConfig, testbed: Testbed, env,
         latency=LatencySummary.from_digest(digest),
         digest=digest,
         backlog=backlog_series,
+        retries=counters.retries,
+        retry_denials=counters.retry_denials,
+        breaker_opens=sum(b.opens for b in breakers),
+        breaker_denials=sum(b.denials for b in breakers),
+        server_rejected=(sum(server.stats.rejected
+                             for server in testbed.servers.values())
+                         - rejected_before),
     )

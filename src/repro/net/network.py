@@ -15,7 +15,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import NetworkError, RequestTimeout
+from repro.errors import NetworkError, OverloadedError, RequestTimeout
 from repro.net.latency import LatencyModel
 from repro.net.partitions import PartitionManager
 from repro.net.topology import Topology
@@ -24,6 +24,25 @@ from repro.sim import Environment, Future, RandomStreams
 #: Default RPC deadline.  Long enough that it only fires when a partition (or
 #: an overloaded server) genuinely prevents a response.
 DEFAULT_RPC_TIMEOUT_MS = 10_000.0
+
+
+class _OverloadedReply:
+    """Sentinel reply payload: the server shed the request at admission.
+
+    Delivered like any reply (it still pays a network round trip), but
+    ``_deliver`` recognizes the singleton by identity and fails the
+    pending RPC with :class:`~repro.errors.OverloadedError` instead of
+    resolving it — one central interception point, so every protocol
+    client treats a shed request as an external abort for free.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<overloaded>"
+
+
+OVERLOADED_REPLY = _OverloadedReply()
 
 
 @dataclass(slots=True)
@@ -158,11 +177,20 @@ class Network:
         if reply_to is not None:
             pending = self._pending_rpcs.pop(reply_to, None)
             if pending is not None and not pending.triggered:
+                payload = message.payload
                 if self.tracer is not None:
                     span = self._rpc_spans.pop(reply_to, None)
                     if span is not None:
-                        self.tracer.finish(span, self.env._now)
-                pending.succeed(message.payload)
+                        status = ("overloaded" if payload is OVERLOADED_REPLY
+                                  else "ok")
+                        self.tracer.finish(span, self.env._now, status=status)
+                if payload is OVERLOADED_REPLY:
+                    pending.fail(OverloadedError(
+                        f"server {message.src} shed "
+                        f"{message.kind.removesuffix('.reply')!r} (overloaded)"
+                    ))
+                else:
+                    pending.succeed(payload)
             return
         handler(message)
 

@@ -25,6 +25,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.hat.server import HATServer
 
 
+#: Default per-round cap when anti-entropy is capacity-coupled.  At the
+#: default 10 ms interval and send cost, one round's push work occupies a
+#: worker for well under half the interval, so catch-up never monopolizes
+#: the server it runs on; a heal backlog drains over several rounds
+#: instead of landing as one burst.
+DEFAULT_COUPLED_MAX_PER_ROUND = 64
+
+
 @dataclass
 class AntiEntropyConfig:
     """Tunables for the anti-entropy service."""
@@ -39,8 +47,37 @@ class AntiEntropyConfig:
     #: it spreads a post-partition or post-rebalance catch-up backlog over
     #: several rounds instead of saturating the receiving replicas with
     #: one giant install burst; elastic scenarios set it, the default
-    #: keeps the historical flush-everything behaviour.
+    #: keeps the historical flush-everything behaviour — except under
+    #: capacity coupling, where ``None`` means
+    #: :data:`DEFAULT_COUPLED_MAX_PER_ROUND` (see
+    #: :meth:`effective_max_per_round`).
     max_versions_per_round: Optional[int] = None
+    #: Couple replication to service capacity: each push round runs as a
+    #: queued request on the *sending* server (occupying a worker for
+    #: :attr:`send_cost_ms_per_version` per version), so a healed
+    #: partition's catch-up backlog steals cycles from foreground
+    #: requests — on the sender as well as the receivers, whose installs
+    #: already flow through their queues.  Off by default: an uncoupled
+    #: run executes the exact pre-existing event sequence.
+    capacity_coupled: bool = False
+    #: Worker time to read, serialize, and stream one catch-up version
+    #: when coupled (the same storage path a foreground write exercises).
+    send_cost_ms_per_version: float = 0.05
+
+    def effective_max_per_round(self) -> Optional[int]:
+        """The per-round cap actually enforced.
+
+        An explicit :attr:`max_versions_per_round` always wins.  When the
+        service is capacity-coupled and no cap was chosen, the coupled
+        default applies: unbounded rounds under coupling would let one
+        heal burst wedge every worker at once, which is the failure the
+        coupling exists to expose *gradually* (and the defense to bound).
+        """
+        if self.max_versions_per_round is not None:
+            return self.max_versions_per_round
+        if self.capacity_coupled:
+            return DEFAULT_COUPLED_MAX_PER_ROUND
+        return None
 
 
 @dataclass(slots=True)
@@ -113,8 +150,27 @@ class AntiEntropyService:
     def _round(self) -> None:
         if not self._running or not self.server.alive:
             return
-        self._push_dirty()
+        if self.settings.capacity_coupled:
+            # Route the round through the server's own request queue (the
+            # same trick MAV promotion uses): the push happens when a
+            # worker picks it up and its cost occupies that worker, so
+            # catch-up competes with foreground requests for capacity.
+            if self._dirty:
+                self.server.network.send(self.server.name, self.server.name,
+                                         "ae.round", None)
+        else:
+            self._push_dirty()
         self.env.schedule(self.settings.interval_ms, self._round)
+
+    def run_coupled_round(self) -> float:
+        """Execute one queued push round; returns its service cost (ms).
+
+        Called by the server's ``ae.round`` handler.  Rounds queued behind
+        a backlog may find the dirty set already drained by an earlier
+        round — those cost only the request overhead.
+        """
+        pushed = self._push_dirty()
+        return self.settings.send_cost_ms_per_version * pushed
 
     def _coalesce(self, dirty: List[tuple]) -> List[tuple]:
         """Drop versions superseded by a later version of the same key.
@@ -152,13 +208,13 @@ class AntiEntropyService:
             self.stats.versions_coalesced += coalesced
         return kept
 
-    def _push_dirty(self) -> None:
+    def _push_dirty(self) -> int:
         if not self._dirty:
-            return
+            return 0
         self.stats.rounds += 1
         batches: Dict[str, List[Version]] = {}
         dirty, self._dirty = self._coalesce(self._dirty), []
-        cap = self.settings.max_versions_per_round
+        cap = self.settings.effective_max_per_round()
         if cap is not None and len(dirty) > cap:
             self._dirty = dirty[cap:]
             dirty = dirty[:cap]
@@ -187,9 +243,11 @@ class AntiEntropyService:
                 retry.append((version, delivered))
         self._dirty.extend(retry)
         tracer = self.server.network.tracer
+        pushed = 0
         for peer, versions in batches.items():
             for start in range(0, len(versions), self.settings.batch_size):
                 chunk = versions[start:start + self.settings.batch_size]
+                pushed += len(chunk)
                 self.stats.versions_pushed += len(chunk)
                 self.stats.messages += 1
                 trace = None
@@ -215,3 +273,4 @@ class AntiEntropyService:
                     size_bytes=self.settings.bytes_per_version * len(chunk),
                     trace=trace,
                 )
+        return pushed

@@ -74,8 +74,15 @@ class TestMinimalDisruption:
         after = before.with_owner(f"node{salt}-new")
         moved = before.moved_fraction(after, KEYS)
         ideal = 1.0 / (count + 1)
-        # The fair share plus virtual-node imbalance and sampling noise.
-        assert moved <= ideal + 0.06
+        # The fair share times virtual-node imbalance and sampling noise:
+        # the joiner's 128 virtual arcs put its owned fraction within
+        # ~±9% (one sigma) of ideal, so 1.6x is ~7 sigma — while a
+        # placement that rehashed everything would move 1 - 1/(n+1),
+        # several times this bound for every ring size tested.  (A flat
+        # additive slack flaked here: small rings have the widest
+        # relative imbalance, and hypothesis eventually found a 2-node
+        # ring at +24%.)
+        assert moved <= 1.6 * ideal
         # The join must actually take load (placement cannot ignore it).
         assert moved > 0.0
 

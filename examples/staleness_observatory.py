@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""How stale do HAT reads actually get?  Measure it, don't guess.
+
+The paper concedes that HATs cannot bound recency, then argues (Section
+2.3, citing the PBS work) that *observed* staleness is usually small.
+This example quantifies both halves of that sentence with two probes
+measured with oracle knowledge of the simulated cluster:
+
+* **t-visibility** — commit-at-origin to install-at-each-replica lag,
+  bucketed by commit time so writes stranded by a partition are charged
+  to the partition even though their installs land after the heal;
+* **k-staleness** — for every read served, how many newer committed
+  versions existed anywhere at that moment.
+
+A nemesis walks each protocol stack through healthy operation, a
+cross-region partition, and a post-heal rebalance.  Healthy, eventual's
+p99 t-visibility is about one WAN round trip — observed staleness is
+small.  Partitioned, the same stack's p99 blows up by an order of
+magnitude, master's becomes unbounded (its replica pushes are dropped
+and never retransmitted), and the bound-free concession stops being
+theoretical.
+
+Run with::
+
+    python examples/staleness_observatory.py
+
+Writes ``staleness.json`` (the same artifact
+``python -m repro.bench staleness --json DIR`` produces) next to the
+terminal rendering.
+"""
+
+import argparse
+import json
+
+from repro.bench.experiments import staleness_experiment
+from repro.bench.report import format_staleness, staleness_report_json
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter campaign phases (for smoke tests)")
+    args = parser.parse_args(argv)
+    # Half-scale, not quarter-scale: the healthy phase must stay long
+    # relative to one replication interval or the handful of commits whose
+    # propagation straddles the partition edge dominates its p99.
+    scale = 0.5 if args.quick else 1.0
+    results = staleness_experiment(
+        healthy_ms=2_000.0 * scale,
+        partition_ms=4_000.0 * scale,
+        rebalance_ms=4_000.0 * scale,
+        window_ms=500.0 * scale,
+    )
+    print(format_staleness(results))
+    print()
+
+    with open("staleness.json", "w") as handle:
+        json.dump(staleness_report_json(results), handle, indent=2,
+                  allow_nan=False)
+    print("(wrote staleness.json)")
+
+    by_protocol = {result.protocol: result for result in results}
+    eventual = by_protocol["eventual"]
+    healthy = eventual.phase_quantile("healthy", "t_visibility_ms", "p99")
+    partition = eventual.phase_quantile("partition", "t_visibility_ms", "p99")
+    master = by_protocol["master"]
+    master_partition = master.phase_quantile(
+        "partition", "t_visibility_ms", "p99")
+    print(f"\neventual, healthy: p99 t-visibility {healthy:.0f} ms — about "
+          "one WAN round trip, the PBS 'usually fresh' story.")
+    print(f"eventual, partitioned: p99 {partition:.0f} ms "
+          f"({partition / healthy:.0f}x worse) — every cross-region install "
+          "waits for the heal plus the anti-entropy drain.")
+    if master_partition is None:
+        print("master, partitioned: no observation at all — its replica "
+              "pushes were dropped and are never retransmitted, so the lag "
+              "is censored, not small.")
+    print("\nRecency under HATs is an operating-conditions property, not a "
+          "protocol guarantee: the same stack is fresh when the network is "
+          "healthy and unboundedly stale when it is not.")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from repro.bench.experiments import (
     figure6_scale_out,
     metastability_experiment,
     saturation_experiment,
+    staleness_experiment,
     tpcc_sim_experiment,
     trace_experiment,
 )
@@ -45,10 +46,12 @@ from repro.bench.report import (
     format_metastability,
     format_saturation,
     format_series,
+    format_staleness,
     format_tpcc_sim,
     format_trace,
     metastability_report_json,
     saturation_report_json,
+    staleness_report_json,
     tpcc_sim_report_json,
     trace_report_json,
 )
@@ -180,9 +183,11 @@ def _perf(quick: bool, jobs=None):
     pool, reporting the measured speedup and per-worker wall time.
     """
     from repro.bench.perf import (
+        format_metrics_overhead,
         format_perf,
         format_speedup,
         format_tracing_overhead,
+        measure_metrics_overhead,
         measure_parallel_speedup,
         measure_tracing_overhead,
         perf_report_json,
@@ -194,10 +199,14 @@ def _perf(quick: bool, jobs=None):
         jobs=jobs, duration_ms=200.0 if quick else 600.0)
     overhead = measure_tracing_overhead(
         duration_ms=300.0 if quick else 800.0)
+    metrics_overhead = measure_metrics_overhead(
+        duration_ms=300.0 if quick else 800.0)
     return (format_perf(results) + "\n\n" + format_speedup(speedup)
-            + "\n" + format_tracing_overhead(overhead),
+            + "\n" + format_tracing_overhead(overhead)
+            + "\n" + format_metrics_overhead(metrics_overhead),
             perf_report_json(results, speedup=speedup,
-                             tracing_overhead=overhead))
+                             tracing_overhead=overhead,
+                             metrics_overhead=metrics_overhead))
 
 
 def _availability(quick: bool, jobs=None):
@@ -256,6 +265,26 @@ def _saturation(quick: bool, jobs=None):
         jobs=jobs,
     )
     return format_saturation(results), saturation_report_json(results)
+
+
+def _staleness(quick: bool, jobs=None):
+    """Staleness observatory: t-visibility / k-staleness recency quantiles.
+
+    Each protocol stack runs the same YCSB workload with the metrics
+    registry on while the nemesis walks healthy -> cross-region partition
+    -> post-heal rebalance.  The artifact reports per-phase p50/p99 for
+    both recency probes, whole-run CDFs, counter totals, the windowed
+    time-series joined with fault windows, and a Prometheus snapshot.
+    """
+    scale = 0.5 if quick else 1.0
+    results = staleness_experiment(
+        healthy_ms=2_000.0 * scale,
+        partition_ms=4_000.0 * scale,
+        rebalance_ms=4_000.0 * scale,
+        window_ms=500.0 * scale,
+        jobs=jobs,
+    )
+    return format_staleness(results), staleness_report_json(results)
 
 
 def _metastability(quick: bool, jobs=None):
@@ -322,6 +351,7 @@ ARTIFACTS: Dict[str, Callable[[bool], object]] = {
     "availability": _availability,
     "elasticity": _elasticity,
     "saturation": _saturation,
+    "staleness": _staleness,
     "metastability": _metastability,
     "perf": _perf,
     "trace": _trace,
@@ -347,8 +377,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", metavar="DIR", default=None,
                         help="also write <DIR>/<artifact>.json for artifacts "
                              "with a JSON form (currently: availability, "
-                             "elasticity, saturation, metastability, "
-                             "tpcc-sim, perf, trace)")
+                             "elasticity, saturation, staleness, "
+                             "metastability, tpcc-sim, perf, trace)")
     return parser
 
 

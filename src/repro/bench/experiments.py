@@ -29,6 +29,7 @@ from repro.chaos.campaign import (
     CampaignPhase,
     canonical_elasticity_campaign,
     canonical_partition_campaign,
+    canonical_staleness_campaign,
 )
 from repro.membership.coordinator import RebalanceRecord
 from repro.chaos.nemesis import NarrationEntry, Nemesis
@@ -96,6 +97,18 @@ ELASTICITY_ANOMALIES = ("G0", "G1a", "IMP")
 #: against the coordinated baselines whose longer commit paths pull the
 #: knee down (``lock-sr`` is the serializable 2PL baseline).
 SATURATION_PROTOCOLS = (EVENTUAL, "causal", "mav+causal", MASTER, "lock-sr")
+
+#: Protocols swept by the staleness observatory: the bare HAT base whose
+#: recency Section 2.3 concedes nothing about, the two strongest
+#: sticky-available stacks, and the mastered baseline whose asynchronous
+#: replication is the classic "stale replicas" configuration.
+STALENESS_PROTOCOLS = (EVENTUAL, "causal", "mav+causal", MASTER)
+
+#: The recency metrics the staleness artifact reports.
+RECENCY_METRICS = ("t_visibility_ms", "k_staleness_versions")
+
+#: Quantile grid for run-level recency CDFs.
+STALENESS_CDF_GRID = tuple(i / 20.0 for i in range(1, 20)) + (0.99,)
 
 #: Protocols swept by the trace experiment: one representative of each
 #: latency shape — the bare HAT base, the strongest sticky-available stack,
@@ -737,6 +750,153 @@ def elasticity_experiment(
               scale_in_ms, recovery_ms, window_ms, slo, workload, seed)
              for protocol in protocols]
     return run_tasks(_elasticity_protocol_run, tasks, jobs=jobs)
+
+
+# ---------------------------------------------------------------------------
+# Staleness observatory: t-visibility / k-staleness recency probes
+# ---------------------------------------------------------------------------
+
+@dataclass
+class StalenessResult:
+    """One protocol's recency profile through the staleness campaign."""
+
+    protocol: str
+    campaign: Campaign
+    window_ms: float
+    #: phase name -> metric name -> quantile summary dict (or None when a
+    #: phase recorded no observations for that metric — e.g. master writes
+    #: stranded by a partition whose replica pushes are never retransmitted
+    #: simply have no t-visibility sample until they install, if ever).
+    phase_recency: Dict[str, Dict[str, Optional[Dict[str, float]]]]
+    #: metric name -> [(q, value), ...] whole-run CDF on a fixed grid.
+    cdfs: Dict[str, List[Tuple[float, float]]]
+    #: metric name -> whole-run quantile summary dict (or None).
+    summaries: Dict[str, Optional[Dict[str, float]]]
+    #: counter name -> total across label sets (sorted, deterministic).
+    counters: Dict[str, float]
+    #: The registry's windowed time-series export, fault windows joined.
+    timeseries: Dict[str, object]
+    #: Prometheus text-format snapshot of the final registry state.
+    prometheus: str
+    stats: RunStats
+    narration: List[NarrationEntry] = field(default_factory=list)
+
+    def phase_quantile(self, phase: str, metric: str,
+                       which: str) -> Optional[float]:
+        """One quantile (``"p50"``/``"p90"``/``"p99"``) or None if unseen."""
+        summary = self.phase_recency.get(phase, {}).get(metric)
+        if summary is None:
+            return None
+        return summary.get(which)
+
+
+def _staleness_protocol_run(
+    protocol: str,
+    regions: Sequence[str],
+    servers_per_cluster: int,
+    clients_per_cluster: int,
+    virtual_nodes: int,
+    healthy_ms: float,
+    partition_ms: float,
+    rebalance_ms: float,
+    window_ms: float,
+    seed: int,
+) -> StalenessResult:
+    """One protocol's full staleness run (the parallel-sweep worker)."""
+    scenario = Scenario(regions=list(regions),
+                        servers_per_cluster=servers_per_cluster,
+                        seed=seed, placement="ring",
+                        virtual_nodes=virtual_nodes,
+                        anti_entropy_max_per_round=32,
+                        metrics=True, metrics_window_ms=window_ms)
+    testbed = build_testbed(scenario)
+    campaign = canonical_staleness_campaign(
+        list(regions), cluster=testbed.config.cluster_names[0],
+        healthy_ms=healthy_ms, partition_ms=partition_ms,
+        rebalance_ms=rebalance_ms)
+    nemesis = Nemesis(testbed, campaign)
+    nemesis.install()
+    config = RunConfig(
+        protocol=protocol,
+        scenario=scenario,
+        workload=YCSBConfig(key_count=5_000),
+        clients_per_cluster=clients_per_cluster,
+        duration_ms=campaign.duration_ms,
+        warmup_ms=0.0,
+        seed=seed,
+        retry=CHAOS_RETRY,
+    )
+    stats = run_workload(config, testbed=testbed)
+    registry = testbed.metrics
+    registry.finalize(testbed.env.now)
+    # YCSB has no preload, so the run starts at t=0 and campaign phases are
+    # absolute simulated times: phase windows index the registry directly.
+    phase_recency: Dict[str, Dict[str, Optional[Dict[str, float]]]] = {}
+    for phase in campaign.phases:
+        per_metric: Dict[str, Optional[Dict[str, float]]] = {}
+        for metric in RECENCY_METRICS:
+            indices = registry.indices_in_range(phase.start_ms, phase.end_ms)
+            per_metric[metric] = registry.merged_quantiles(metric, indices)
+        phase_recency[phase.name] = per_metric
+    cdfs: Dict[str, List[Tuple[float, float]]] = {}
+    summaries: Dict[str, Optional[Dict[str, float]]] = {}
+    for metric in RECENCY_METRICS:
+        summaries[metric] = registry.summary(metric)
+        if summaries[metric] is None:
+            cdfs[metric] = []
+        else:
+            cdfs[metric] = [(q, registry.quantile(metric, q))
+                            for q in STALENESS_CDF_GRID]
+    counters = {name: registry.counter_total(name)
+                for name in sorted({key[0] for key in registry.counters})}
+    return StalenessResult(
+        protocol=protocol,
+        campaign=campaign,
+        window_ms=window_ms,
+        phase_recency=phase_recency,
+        cdfs=cdfs,
+        summaries=summaries,
+        counters=counters,
+        timeseries=registry.timeseries(),
+        prometheus=registry.prometheus(),
+        stats=stats,
+        narration=list(nemesis.log),
+    )
+
+
+def staleness_experiment(
+    protocols: Sequence[str] = STALENESS_PROTOCOLS,
+    regions: Sequence[str] = ("VA", "OR"),
+    servers_per_cluster: int = 2,
+    clients_per_cluster: int = 2,
+    virtual_nodes: int = 128,
+    healthy_ms: float = 2_000.0,
+    partition_ms: float = 4_000.0,
+    rebalance_ms: float = 4_000.0,
+    window_ms: float = 500.0,
+    seed: int = 0,
+    jobs: Optional[int] = None,
+) -> List[StalenessResult]:
+    """Sweep protocol stacks through the canonical staleness campaign.
+
+    Every protocol runs the same closed-loop YCSB workload with the
+    metrics registry switched on while the nemesis walks three phases:
+    healthy, a cross-region partition, and a post-heal rebalance (a
+    scale-out join racing the anti-entropy backlog drain).  The recency
+    probes measure **t-visibility** (commit-at-origin to
+    install-at-each-replica lag, bucketed by commit time so stranded
+    partition-era writes are charged to the partition even though their
+    installs land after the heal) and **k-staleness** (how many committed
+    versions each read trailed the freshest commit by).  The result
+    carries per-phase p50/p90/p99 for both metrics, whole-run CDFs on a
+    fixed quantile grid, counter totals, the windowed time-series joined
+    with fault windows, and a Prometheus text snapshot.
+    """
+    tasks = [(protocol, regions, servers_per_cluster, clients_per_cluster,
+              virtual_nodes, healthy_ms, partition_ms, rebalance_ms,
+              window_ms, seed)
+             for protocol in protocols]
+    return run_tasks(_staleness_protocol_run, tasks, jobs=jobs)
 
 
 # ---------------------------------------------------------------------------

@@ -244,6 +244,92 @@ def format_tracing_overhead(overhead: TracingOverhead) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Metrics overhead: measured, not assumed
+# ---------------------------------------------------------------------------
+
+@dataclass(slots=True)
+class MetricsOverhead:
+    """Wall-clock cost of the metrics registry on the canonical causal run.
+
+    Same contract as tracing: the registry and the recency probes are
+    inline bookkeeping (no scheduled callbacks, no randomness), so the
+    instrumented run executes the identical event sequence and commits
+    the identical transactions — ``events_on == events_off`` — and the
+    ratio is pure counter/digest maintenance cost, not a behaviour change.
+    """
+
+    wall_off_s: float
+    wall_on_s: float
+    events_off: int
+    events_on: int
+    committed_off: int
+    committed_on: int
+    #: Recency observations the instrumented run recorded (cost context).
+    observations: int
+
+    @property
+    def ratio(self) -> float:
+        return self.wall_on_s / self.wall_off_s if self.wall_off_s > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "wall_off_s": self.wall_off_s,
+            "wall_on_s": self.wall_on_s,
+            "ratio": self.ratio,
+            "events_off": self.events_off,
+            "events_on": self.events_on,
+            "committed_off": self.committed_off,
+            "committed_on": self.committed_on,
+            "observations": self.observations,
+        }
+
+
+def measure_metrics_overhead(duration_ms: float = 400.0) -> MetricsOverhead:
+    """Run the same seeded causal scenario with metrics off, then on."""
+    measured = []
+    observations = 0
+    for metrics in (False, True):
+        config = RunConfig(
+            protocol="causal",
+            scenario=Scenario(regions=["VA", "OR"], servers_per_cluster=2,
+                              seed=0, metrics=metrics),
+            workload=YCSBConfig(),
+            clients_per_cluster=4,
+            duration_ms=duration_ms,
+            seed=0,
+        )
+        start = time.perf_counter()
+        testbed = build_testbed(config.scenario)
+        stats = run_workload(config, testbed=testbed)
+        wall_s = time.perf_counter() - start
+        measured.append((wall_s, testbed.env.events_executed, stats.committed))
+        if metrics and testbed.metrics is not None:
+            registry = testbed.metrics
+            observations = int(
+                registry.counter_total("staleness_installs_total")
+                + registry.counter_total("staleness_reads_total"))
+    (wall_off, events_off, committed_off) = measured[0]
+    (wall_on, events_on, committed_on) = measured[1]
+    return MetricsOverhead(
+        wall_off_s=wall_off, wall_on_s=wall_on,
+        events_off=events_off, events_on=events_on,
+        committed_off=committed_off, committed_on=committed_on,
+        observations=observations,
+    )
+
+
+def format_metrics_overhead(overhead: MetricsOverhead) -> str:
+    """Render the metrics-overhead measurement."""
+    return (
+        f"metrics overhead (canonical causal run): "
+        f"off {overhead.wall_off_s:.2f} s -> on {overhead.wall_on_s:.2f} s "
+        f"({overhead.ratio:.2f}x wall), {overhead.observations} recency "
+        f"observations; events {overhead.events_off} -> {overhead.events_on} "
+        f"({'identical' if overhead.events_on == overhead.events_off else 'DIVERGED'})"
+    )
+
+
+# ---------------------------------------------------------------------------
 # --jobs scaling: measured, not assumed
 # ---------------------------------------------------------------------------
 
@@ -376,7 +462,8 @@ def format_perf(results: List[PerfResult]) -> str:
 
 def perf_report_json(results: List[PerfResult],
                      speedup: Optional[SpeedupResult] = None,
-                     tracing_overhead: Optional[TracingOverhead] = None
+                     tracing_overhead: Optional[TracingOverhead] = None,
+                     metrics_overhead: Optional[MetricsOverhead] = None
                      ) -> Dict:
     """The JSON artifact: per-case metrics plus aggregate throughput."""
     total_wall = sum(r.wall_s for r in results)
@@ -395,4 +482,6 @@ def perf_report_json(results: List[PerfResult],
         payload["parallel_speedup"] = speedup.as_dict()
     if tracing_overhead is not None:
         payload["tracing_overhead"] = tracing_overhead.as_dict()
+    if metrics_overhead is not None:
+        payload["metrics_overhead"] = metrics_overhead.as_dict()
     return payload

@@ -13,6 +13,7 @@ from repro.bench.experiments import (
     MetastabilityResult,
     MetastabilityRun,
     SaturationResult,
+    StalenessResult,
     TPCCSimResult,
     TraceProvenanceResult,
     TraceStackResult,
@@ -636,5 +637,106 @@ def elasticity_report_json(results: Sequence[ElasticityResult]) -> Dict:
                 "phase_availability": result.phase_availability(group),
                 "windows": [w.as_dict() for w in timeline.windows],
             }
+        payload["protocols"].append(entry)
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Staleness observatory: t-visibility / k-staleness recency tables
+# ---------------------------------------------------------------------------
+
+def _recency_cell(value: Optional[float], width: int = 9) -> str:
+    return f"{value:>{width}.1f}" if value is not None else f"{'-':>{width}}"
+
+
+def format_staleness(results: Sequence[StalenessResult]) -> str:
+    """Per-protocol, per-phase recency table plus the eventual headline.
+
+    t-visibility rows show commit-to-install lag quantiles (bucketed by
+    commit time); k-staleness rows show versions-behind-freshest for the
+    reads each stack served.  ``-`` marks a censored cell: the phase saw
+    no observation (master's partition-era writes, whose replica pushes
+    are dropped and never retransmitted, are the canonical case — their
+    lag is unbounded, not small).
+    """
+    if not results:
+        return "(no data)"
+    campaign = results[0].campaign
+    phase_names = [phase.name for phase in campaign.phases]
+    lines = [
+        "Staleness observatory: recency through healthy -> partition -> "
+        f"rebalance (window = {results[0].window_ms:g} ms)",
+        "phases: " + "  ".join(
+            f"{p.name} [{p.start_ms:g}, {p.end_ms:g})" for p in campaign.phases),
+        "",
+    ]
+    header = (f"{'protocol':<14} {'metric':<22} "
+              + "".join(f"{name + ' p50':>15}{name + ' p99':>15}"
+                        for name in phase_names))
+    lines += [header, "-" * len(header)]
+    labels = {"t_visibility_ms": "t-visibility (ms)",
+              "k_staleness_versions": "k-staleness (versions)"}
+    for result in results:
+        for metric, label in labels.items():
+            cells = []
+            for name in phase_names:
+                cells.append(_recency_cell(
+                    result.phase_quantile(name, metric, "p50"), 15))
+                cells.append(_recency_cell(
+                    result.phase_quantile(name, metric, "p99"), 15))
+            lines.append(f"{result.protocol:<14} {label:<22} " + "".join(cells))
+    for result in results:
+        if result.protocol != "eventual":
+            continue
+        healthy = result.phase_quantile("healthy", "t_visibility_ms", "p99")
+        partition = result.phase_quantile("partition", "t_visibility_ms", "p99")
+        if healthy and partition is not None:
+            lines += ["", (
+                "headline: eventual's partition-phase p99 t-visibility is "
+                f"{partition / healthy:.1f}x its healthy p99 "
+                f"({partition:.1f} ms vs {healthy:.1f} ms) — recency is an "
+                "operating-conditions property, not a protocol guarantee.")]
+    narration = [entry for result in results[:1] for entry in result.narration]
+    if narration:
+        lines += ["", "nemesis narration (identical for every protocol):"]
+        lines += [f"  {entry}" for entry in narration]
+    return "\n".join(lines)
+
+
+def staleness_report_json(results: Sequence[StalenessResult]) -> Dict:
+    """A JSON-safe artifact of the staleness experiment (no NaN anywhere)."""
+    payload: Dict = {"figure": "staleness", "protocols": []}
+    if results:
+        campaign = results[0].campaign
+        payload["window_ms"] = results[0].window_ms
+        payload["campaign"] = {
+            "duration_ms": campaign.duration_ms,
+            "phases": [{"name": p.name, "start_ms": p.start_ms,
+                        "end_ms": p.end_ms} for p in campaign.phases],
+            "actions": [{"at_ms": a.at_ms, "kind": a.kind, "note": a.note}
+                        for a in campaign.timeline()],
+        }
+    for result in results:
+        entry = {
+            "protocol": result.protocol,
+            "committed_total": result.stats.committed,
+            "aborted_total": result.stats.aborted,
+            "phase_recency": result.phase_recency,
+            "cdfs": {metric: [{"q": q, "value": value}
+                              for q, value in points]
+                     for metric, points in result.cdfs.items()},
+            "summaries": result.summaries,
+            "counters": result.counters,
+            "timeseries": result.timeseries,
+            "prometheus": result.prometheus,
+        }
+        if result.protocol == "eventual":
+            healthy = result.phase_quantile(
+                "healthy", "t_visibility_ms", "p99")
+            partition = result.phase_quantile(
+                "partition", "t_visibility_ms", "p99")
+            entry["partition_over_healthy_p99"] = (
+                partition / healthy
+                if healthy and partition is not None else None)
         payload["protocols"].append(entry)
     return payload

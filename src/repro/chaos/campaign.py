@@ -504,6 +504,43 @@ def canonical_elasticity_campaign(regions: Sequence[str],
     return Campaign(duration_ms=duration, actions=actions, phases=phases)
 
 
+def canonical_staleness_campaign(regions: Sequence[str],
+                                 cluster: str,
+                                 healthy_ms: float = 2_000.0,
+                                 partition_ms: float = 4_000.0,
+                                 rebalance_ms: float = 4_000.0) -> Campaign:
+    """The staleness observatory's fixed three-phase campaign.
+
+    Healthy steady state, then the canonical region partition (first region
+    versus the rest) — the phase where anti-entropy backlogs grow and
+    t-visibility blows up for writes stranded on either side — then a heal
+    that immediately scales ``cluster`` out, so the recovery phase measures
+    recency while catch-up and a membership handoff compete for capacity.
+    Fully deterministic — no generator randomness — so the ``staleness``
+    artifact is reproducible by construction.
+    """
+    if len(regions) < 2:
+        raise CampaignError("the staleness campaign needs at least two regions")
+    groups = ((regions[0],), tuple(regions[1:]))
+    t_partition = healthy_ms
+    t_heal = healthy_ms + partition_ms
+    duration = t_heal + rebalance_ms
+    actions = (
+        CampaignAction(at_ms=t_partition, kind=PARTITION, groups=groups,
+                       note=f"partition: {list(groups[0])} | {list(groups[1])}"),
+        CampaignAction(at_ms=t_heal, kind=CLEAR_PARTITION,
+                       note="partition heals"),
+        CampaignAction(at_ms=t_heal, kind=SCALE_OUT, target=cluster,
+                       note=f"rebalance: {cluster} gains a server"),
+    )
+    phases = (
+        CampaignPhase("healthy", 0.0, t_partition),
+        CampaignPhase("partition", t_partition, t_heal),
+        CampaignPhase("rebalance", t_heal, duration),
+    )
+    return Campaign(duration_ms=duration, actions=actions, phases=phases)
+
+
 def _with_boundary_phases(duration_ms: float,
                           fault_phases: List[CampaignPhase]) -> List[CampaignPhase]:
     """Add baseline/recovered phases around the fault epochs."""

@@ -78,6 +78,12 @@ class Nemesis:
             # overlapping this fault are stamped with its window.
             tracer.on_fault(event.kind, event.targets, self.testbed.env.now,
                             event.description)
+        metrics = getattr(self.testbed, "metrics", None)
+        if metrics is not None:
+            # The metrics registry keeps its own fault-window ledger so the
+            # windowed time-series export can be joined with chaos phases.
+            metrics.on_fault(event.kind, event.targets, self.testbed.env.now,
+                             event.description)
 
     def phase_at(self, t_ms: float) -> Optional[str]:
         """The campaign phase active at ``t_ms`` (see :class:`Campaign`)."""

@@ -163,6 +163,39 @@ def availability_score(windows: Sequence[WindowStats],
     return sum(1 for w in windows if w.meets(slo)) / len(windows)
 
 
+def join_fault_windows(windows: List[Dict[str, object]],
+                       fault_windows: Sequence[Dict[str, object]],
+                       ) -> List[Dict[str, object]]:
+    """Stamp each time-series window with the fault windows it overlapped.
+
+    ``windows`` are dicts with ``start_ms``/``end_ms`` (any windowed export
+    — the metrics registry's histogram series, or ``WindowStats.as_dict()``
+    rows); ``fault_windows`` are ``FaultWindow.as_dict()`` records.  Each
+    window gains a ``"faults"`` list of overlapping fault-window ids, which
+    is what lets a reader line a staleness spike up against the partition
+    that caused it without eyeballing timestamps.  A still-open fault
+    (``end_ms`` None) overlaps everything after its start; a zero-width
+    marker (scale-out, scale-in) is attributed to the single window
+    containing its instant.
+    """
+    for entry in windows:
+        w_start = entry["start_ms"]
+        w_end = entry["end_ms"]
+        hits = []
+        for fault in fault_windows:
+            f_start = fault["start_ms"]
+            f_end = fault["end_ms"]
+            if f_end is None:
+                f_end = float("inf")
+            if f_end == f_start:
+                if w_start <= f_start < w_end:
+                    hits.append(fault["window_id"])
+            elif w_start < f_end and w_end > f_start:
+                hits.append(fault["window_id"])
+        entry["faults"] = hits
+    return windows
+
+
 @dataclass
 class GroupTimeline:
     """The full per-window series for one client group (home region)."""
@@ -287,9 +320,18 @@ class TimelineTelemetry:
         start, end = self._bounds
         windows = self._group_windows(attempt.group)
         # Outcome counters land in the window where the transaction finished.
+        # A completion *exactly on* a window boundary belongs to the window
+        # that ends there: it measures the interval that just closed.  (The
+        # naive half-open bucketing would put it in the next window — and,
+        # combined with the stall rule below, count one attempt in two
+        # windows.  Arrivals and queue samples keep pure half-open
+        # semantics: they are instants, not interval ends.)
         if attempt.end_ms is not None and start <= attempt.end_ms < end:
-            index = min(int((attempt.end_ms - start) / self.window_ms),
-                        len(windows) - 1)
+            offset = attempt.end_ms - start
+            index = int(offset / self.window_ms)
+            if index > 0 and offset == index * self.window_ms:
+                index -= 1
+            index = min(index, len(windows) - 1)
             window = windows[index]
             if attempt.committed:
                 window.committed += 1
@@ -308,9 +350,20 @@ class TimelineTelemetry:
         # later times out and aborts, or never finishes at all) is.
         if attempt.committed:
             return
-        stall_end = attempt.end_ms if attempt.end_ms is not None else end
+        if attempt.end_ms is None:
+            # Never completed: it stalls every window it fully covers,
+            # including one it covers edge-to-edge (inclusive comparison —
+            # there is no completion event to count it anywhere else).
+            for window in windows:
+                if attempt.start_ms <= window.start_ms and end >= window.end_ms:
+                    window.stalled += 1
+            return
+        # Completed without committing: the window where the abort was
+        # *counted* must not also be stalled by it, so only windows the
+        # attempt strictly outlived stall (boundary-exact ends excluded).
         for window in windows:
-            if attempt.start_ms <= window.start_ms and stall_end >= window.end_ms:
+            if (attempt.start_ms <= window.start_ms
+                    and attempt.end_ms > window.end_ms):
                 window.stalled += 1
 
     # -- aggregation ------------------------------------------------------------

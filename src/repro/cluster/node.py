@@ -91,6 +91,9 @@ class ServerNode:
         # tracer must be installed before servers are built).
         self._trace_depths: Optional[Deque[int]] = (
             deque() if network.tracer is not None else None)
+        # Metrics registry snapshot (None in the common case); like the
+        # tracer it must be installed on the network before servers exist.
+        self._metrics = network.metrics
         network.register(name, self._on_message)
 
     # -- handler registration -------------------------------------------------
@@ -145,6 +148,12 @@ class ServerNode:
         queue.append((message, self.env._now))
         if len(queue) > stats.max_queue_depth:
             stats.max_queue_depth = len(queue)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.observe("server_queue_depth", self.env._now,
+                            float(len(queue)), node=self.name)
+            metrics.max_gauge("server_queue_depth_max", float(len(queue)),
+                              node=self.name)
         if self._busy_workers < self.cost.concurrency:
             self._maybe_start_worker()
 
@@ -169,6 +178,9 @@ class ServerNode:
         the client learns of the rejection one latency sample later.
         """
         self.stats.rejected += 1
+        if self._metrics is not None:
+            self._metrics.inc("server_sheds_total", node=self.name,
+                              reason=reason, kind=message.kind)
         network = self.network
         tracer = network.tracer
         if tracer is not None and message.trace is not None:
@@ -215,6 +227,9 @@ class ServerNode:
                     continue
             queue_wait = env._now - enqueued_at
             stats.queue_wait_ms += queue_wait
+            if self._metrics is not None:
+                self._metrics.observe("server_queue_wait_ms", env._now,
+                                      queue_wait, node=self.name)
             self._busy_workers += 1
             handler = handlers.get(message.kind)
             span = None

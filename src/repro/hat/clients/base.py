@@ -109,16 +109,29 @@ class ProtocolClient:
             start_ms=self.node.env.now,
         )
         breaker = self.breaker
+        metrics = self.node.network.metrics
         denied = False
         try:
-            if breaker is not None and not breaker.allow(self.node.env.now):
-                denied = True
-                tracer = self.node.network.tracer
-                if tracer is not None and transaction.trace is not None:
-                    event = tracer.event("breaker-open", transaction.trace,
-                                         self.node.name, self.node.env.now)
-                    event.attrs["protocol"] = self.protocol_name
-                raise OverloadedError("circuit breaker open")
+            if breaker is not None:
+                state_before = breaker.state
+                allowed = breaker.allow(self.node.env.now)
+                if metrics is not None and breaker.state != state_before:
+                    # The open -> half-open transition happens inside
+                    # ``allow`` when the cooldown elapses.
+                    metrics.inc("breaker_transitions_total",
+                                protocol=self.protocol_name,
+                                to=breaker.state)
+                if not allowed:
+                    denied = True
+                    if metrics is not None:
+                        metrics.inc("breaker_denials_total",
+                                    protocol=self.protocol_name)
+                    tracer = self.node.network.tracer
+                    if tracer is not None and transaction.trace is not None:
+                        event = tracer.event("breaker-open", transaction.trace,
+                                             self.node.name, self.node.env.now)
+                        event.attrs["protocol"] = self.protocol_name
+                    raise OverloadedError("circuit breaker open")
             yield from self._run(transaction, result)
             result.committed = True
         except TransactionAborted as abort:
@@ -132,8 +145,12 @@ class ProtocolClient:
             # not recorded.  An internal abort counts as success: the
             # system completed the round trip, the transaction chose to
             # abort itself.
+            state_before = breaker.state
             breaker.record(result.committed or result.internal_abort,
                            result.end_ms)
+            if metrics is not None and breaker.state != state_before:
+                metrics.inc("breaker_transitions_total",
+                            protocol=self.protocol_name, to=breaker.state)
         result.writes = transaction.write_set if result.committed else {}
         tracer = self.node.network.tracer
         if tracer is not None:
@@ -200,6 +217,13 @@ class ProtocolClient:
         # Lamport receive rule: future timestamps must order after anything
         # this client has read, or LWW would discard its subsequent writes.
         self.node.witness_timestamp(version.timestamp)
+        metrics = self.node.network.metrics
+        if metrics is not None:
+            # Every read any stack serves flows through here — replica
+            # replies, session-cache repairs, and buffered-write echoes
+            # alike — so this is the single k-staleness probe point.
+            metrics.staleness.on_read(key, version.timestamp,
+                                      self.node.env.now)
         result.reads.append(ReadObservation(key=key, version=version))
         return version
 

@@ -109,13 +109,32 @@ class HATServer(ServerNode):
         cost = self.store.put(version, value_bytes=size_bytes)
         if durable:
             cost += self._durable_write_cost(size_bytes)
+        if self._metrics is not None:
+            # Single install chokepoint: anti-entropy batches, master
+            # replication pushes, MAV promotions, and handoff offers all
+            # land here, so one probe call covers every replication path.
+            self._metrics.staleness.on_install(
+                version.key, version.timestamp, self.name, self.env.now)
         return cost
+
+    def _stamp_commit(self, version: Version) -> None:
+        """Tell the recency probe a client write committed at this origin.
+
+        The key's replica set is frozen as of commit time so that a later
+        rebalance streaming this version to a brand-new owner does not
+        count as t-visibility lag.
+        """
+        if self._metrics is not None:
+            self._metrics.staleness.on_commit(
+                version.key, version.timestamp, self.name, self.env.now,
+                replicas=self.config.replicas_for(version.key))
 
     # -- Read Uncommitted / Read Committed / quorum ------------------------------
     def _handle_ru_put(self, message: Message) -> Tuple[dict, float]:
         payload = message.payload
         version: Version = payload["version"]
         size = int(payload.get("size_bytes", 1024))
+        self._stamp_commit(version)
         cost = self._install(version, size)
         self.anti_entropy.mark_dirty(version)
         return {"ok": True, "timestamp": version.timestamp}, cost
@@ -135,6 +154,9 @@ class HATServer(ServerNode):
         payload = message.payload
         version: Version = payload["version"]
         size = int(payload.get("size_bytes", 1024))
+        # A MAV write is committed (acknowledged to the client) on arrival
+        # at the origin; its remote installs happen at promotion time.
+        self._stamp_commit(version)
         cost = self._accept_mav_write(version, size)
         return {"ok": True, "timestamp": version.timestamp}, cost
 
@@ -217,6 +239,7 @@ class HATServer(ServerNode):
         payload = message.payload
         version: Version = payload["version"]
         size = int(payload.get("size_bytes", 1024))
+        self._stamp_commit(version)
         cost = self._install(version, size)
         for peer in self.config.peer_replicas(version.key, self.name):
             self.network.send(self.name, peer, "repl.push",
@@ -235,23 +258,32 @@ class HATServer(ServerNode):
         payload = message.payload
         key, txn_id = payload["key"], payload["txn_id"]
         tracer = self.network.tracer
-        if tracer is not None and message.trace is not None:
+        metrics = self._metrics
+        trace = message.trace
+        want_span = tracer is not None and trace is not None
+        if want_span or metrics is not None:
             requested_at = self.env.now
-            trace = message.trace
 
             def _grant() -> None:
                 if not self.alive:
                     return
                 granted_at = self.env.now
                 if granted_at > requested_at:
-                    # Only contended grants earn a lock-wait span; an
-                    # immediate grant spent no time blocked.
-                    span = tracer.start_span(f"lock-wait:{key}", "lock",
-                                             trace, self.name,
-                                             start_ms=requested_at)
-                    span.attrs["key"] = key
-                    span.attrs["wait_ms"] = granted_at - requested_at
-                    tracer.finish(span, granted_at)
+                    # Only contended grants earn a lock-wait span or a
+                    # wait observation; an immediate grant spent no time
+                    # blocked.
+                    if want_span:
+                        span = tracer.start_span(f"lock-wait:{key}", "lock",
+                                                 trace, self.name,
+                                                 start_ms=requested_at)
+                        span.attrs["key"] = key
+                        span.attrs["wait_ms"] = granted_at - requested_at
+                        tracer.finish(span, granted_at)
+                    if metrics is not None:
+                        metrics.observe("lock_wait_ms", granted_at,
+                                        granted_at - requested_at,
+                                        node=self.name)
+                        metrics.inc("lock_waits_total", node=self.name)
                 self.network.reply(message, {"granted": True, "key": key})
         else:
             def _grant() -> None:
@@ -311,6 +343,10 @@ class HATServer(ServerNode):
         self.handoff.versions_sent += len(versions)
         self.handoff.bytes_sent += (
             self.anti_entropy.settings.bytes_per_version * len(versions))
+        if self._metrics is not None:
+            self._metrics.inc("handoff_fetches_total", node=self.name)
+            self._metrics.inc("handoff_versions_sent_total",
+                              float(len(versions)), node=self.name)
         # Cost model: one memtable/SSTable read per streamed key batch —
         # or, under capacity coupling, the same per-version streaming cost
         # anti-entropy catch-up pays, so a joiner's bulk fetch competes
@@ -333,6 +369,10 @@ class HATServer(ServerNode):
         self.handoff.offers_received += 1
         self.handoff.versions_received += len(versions)
         self.handoff.bytes_received += int(message.payload.get("size_bytes", 0))
+        if self._metrics is not None:
+            self._metrics.inc("handoff_offers_total", node=self.name)
+            self._metrics.inc("handoff_versions_received_total",
+                              float(len(versions)), node=self.name)
         return {"ok": True, "count": len(versions)}, cost
 
     # -- anti-entropy -----------------------------------------------------------------------------

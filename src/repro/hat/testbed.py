@@ -85,6 +85,14 @@ class Scenario:
     #: records a causally linked span.  Off by default — a disabled run
     #: executes the exact same event sequence as before tracing existed.
     tracing: bool = False
+    #: Attach a :class:`repro.obs.metrics.MetricsRegistry` to the deployment:
+    #: queue sheds, breaker/budget transitions, anti-entropy backlog, lock
+    #: waits, handoff progress, and the t-visibility/k-staleness recency
+    #: probes all record into one registry.  Off by default with the same
+    #: zero-overhead contract as tracing.
+    metrics: bool = False
+    #: Histogram window width for the metrics registry (sim-clock ms).
+    metrics_window_ms: float = 500.0
 
     def cluster_regions(self) -> List[str]:
         """One entry per cluster (regions repeated ``clusters_per_region`` times)."""
@@ -110,6 +118,8 @@ class Testbed:
         self.streams = streams
         #: The deployment's tracer (None unless ``Scenario.tracing``).
         self.tracer = network.tracer
+        #: The deployment's metrics registry (None unless ``Scenario.metrics``).
+        self.metrics = network.metrics
         self.clients: List[ProtocolClient] = []
         #: Servers decommissioned by the membership coordinator, kept for
         #: post-run inspection (they are unregistered and never serve again).
@@ -296,6 +306,13 @@ def build_testbed(scenario: Scenario) -> Testbed:
         from repro.obs.trace import Tracer
 
         network.tracer = Tracer()
+    if scenario.metrics:
+        # Installed before any server is built for the same reason as the
+        # tracer: instrumentation sites snapshot ``network.metrics`` at
+        # construction time where doing so avoids a per-message lookup.
+        from repro.obs.metrics import MetricsRegistry
+
+        network.metrics = MetricsRegistry(window_ms=scenario.metrics_window_ms)
 
     servers: Dict[str, HATServer] = {}
     ae_config = _anti_entropy_config(scenario)

@@ -231,6 +231,7 @@ def _run_open_loop_inner(config: OpenLoopConfig, testbed: Testbed, env,
 
     retry = config.retry
     breakers: List[Any] = []
+    metrics = testbed.network.metrics
 
     def make_handler(group: str, budgets: Dict[int, RetryBudget],
                      retry_rng):
@@ -243,6 +244,8 @@ def _run_open_loop_inner(config: OpenLoopConfig, testbed: Testbed, env,
                 if budget is None:
                     budget = budgets[session_id] = retry.make_budget()
                 budget.deposit()
+                if metrics is not None:
+                    metrics.inc("retry_budget_deposits_total", group=group)
             result = yield client.execute(transaction)
             if retry is not None:
                 # Externally aborted requests (timeouts, overload
@@ -255,7 +258,13 @@ def _run_open_loop_inner(config: OpenLoopConfig, testbed: Testbed, env,
                        and attempt_no < retry.max_attempts):
                     if budget is not None and not budget.withdraw():
                         counters.retry_denials += 1
+                        if metrics is not None:
+                            metrics.inc("retry_budget_denials_total",
+                                        group=group)
                         break
+                    if budget is not None and metrics is not None:
+                        metrics.inc("retry_budget_withdrawals_total",
+                                    group=group)
                     delay = retry.backoff_ms(attempt_no, retry_rng)
                     if delay > 0.0:
                         yield env.timeout(delay)

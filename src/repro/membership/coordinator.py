@@ -262,6 +262,12 @@ class MembershipCoordinator:
             window = tracer.open_window(
                 "handoff", (cluster.name, joiner_name), record.start_ms,
                 f"join {joiner_name} into {cluster.name}")
+        metrics = getattr(self.testbed, "metrics", None)
+        metric_window = None
+        if metrics is not None:
+            metric_window = metrics.open_fault(
+                "handoff", (cluster.name, joiner_name), record.start_ms,
+                f"join {joiner_name} into {cluster.name}")
         try:
             pending = cluster.pending_partitioner(add=joiner_name)
             owned_by_joiner = pending.owner_for
@@ -332,6 +338,8 @@ class MembershipCoordinator:
         finally:
             if window is not None:
                 tracer.close_window(window, env.now)
+            if metric_window is not None:
+                metrics.close_fault(metric_window, env.now)
             self._busy.discard(cluster.name)
 
     # -- leave ----------------------------------------------------------------
@@ -372,6 +380,12 @@ class MembershipCoordinator:
         window = None
         if tracer is not None:
             window = tracer.open_window(
+                "handoff", (cluster.name, leaver.name), record.start_ms,
+                f"drain {leaver.name} out of {cluster.name}")
+        metrics = getattr(self.testbed, "metrics", None)
+        metric_window = None
+        if metrics is not None:
+            metric_window = metrics.open_fault(
                 "handoff", (cluster.name, leaver.name), record.start_ms,
                 f"drain {leaver.name} out of {cluster.name}")
         try:
@@ -430,4 +444,6 @@ class MembershipCoordinator:
         finally:
             if window is not None:
                 tracer.close_window(window, env.now)
+            if metric_window is not None:
+                metrics.close_fault(metric_window, env.now)
             self._busy.discard(cluster.name)

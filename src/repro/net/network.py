@@ -94,6 +94,10 @@ class Network:
         #: None (the overwhelmingly common case) costs one attribute check
         #: per message.
         self.tracer = None
+        #: Metrics sink (a :class:`repro.obs.metrics.MetricsRegistry`) when
+        #: ``Scenario.metrics`` is on; None costs one attribute check at each
+        #: instrumented seam.
+        self.metrics = None
         #: msg_id -> open RPC span, finished on reply or timeout.
         self._rpc_spans: Dict[int, Any] = {}
         self._rng = (streams or RandomStreams(0)).stream("network")

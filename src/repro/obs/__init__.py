@@ -9,6 +9,9 @@ the *exact same event sequence* as untraced ones (pinned by the perf-smoke
 overhead test).
 """
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.staleness import StalenessProbe
 from repro.obs.trace import FaultWindow, Span, TraceContext, Tracer
 
-__all__ = ["FaultWindow", "Span", "TraceContext", "Tracer"]
+__all__ = ["FaultWindow", "MetricsRegistry", "Span", "StalenessProbe",
+           "TraceContext", "Tracer"]

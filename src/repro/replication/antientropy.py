@@ -209,9 +209,18 @@ class AntiEntropyService:
         return kept
 
     def _push_dirty(self) -> int:
+        metrics = self.server.network.metrics
+        if metrics is not None:
+            # Backlog is sampled at round boundaries (including empty
+            # rounds) so the windowed series shows partition-era growth and
+            # post-heal drain, not just the rounds that pushed something.
+            metrics.observe("ae_backlog_versions", self.env.now,
+                            float(len(self._dirty)), node=self.server.name)
         if not self._dirty:
             return 0
         self.stats.rounds += 1
+        if metrics is not None:
+            metrics.inc("ae_rounds_total", node=self.server.name)
         batches: Dict[str, List[Version]] = {}
         dirty, self._dirty = self._coalesce(self._dirty), []
         cap = self.settings.effective_max_per_round()
@@ -273,4 +282,7 @@ class AntiEntropyService:
                     size_bytes=self.settings.bytes_per_version * len(chunk),
                     trace=trace,
                 )
+        if metrics is not None and pushed:
+            metrics.inc("ae_versions_pushed_total", float(pushed),
+                        node=self.server.name)
         return pushed

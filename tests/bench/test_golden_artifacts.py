@@ -31,6 +31,30 @@ class TestGoldenAvailability:
         )
 
 
+class TestGoldenStaleness:
+    def test_quick_payload_is_bit_identical(self):
+        from repro.bench.__main__ import _staleness
+
+        _, payload = _staleness(True, None)
+        rendered = json.dumps(payload, indent=2, allow_nan=False) + "\n"
+        golden = (DATA / "golden_staleness_quick.json").read_text()
+        assert rendered == golden, (
+            "staleness --quick payload drifted from its golden — either the "
+            "metrics/probe path changed behaviour or the simulation kernel "
+            "under it did"
+        )
+
+    def test_partition_inflates_eventual_p99_tenfold(self):
+        """The acceptance headline: under a cross-region partition the
+        eventual stack's p99 t-visibility blows up by >= 10x over healthy
+        operation — recency is an operating-conditions property."""
+        golden = json.loads(
+            (DATA / "golden_staleness_quick.json").read_text())
+        eventual = [p for p in golden["protocols"]
+                    if p["protocol"] == "eventual"][0]
+        assert eventual["partition_over_healthy_p99"] >= 10.0
+
+
 class TestGoldenKernelRun:
     def test_canonical_causal_run_matches_pin(self):
         from repro.bench.runner import RunConfig, run_workload

@@ -1,0 +1,56 @@
+"""Integration tests for the staleness observatory artifact."""
+
+import json
+
+from repro.bench.experiments import staleness_experiment
+from repro.bench.report import format_staleness, staleness_report_json
+
+
+def _tiny(jobs=None, protocols=("eventual", "master")):
+    return staleness_experiment(
+        protocols=protocols,
+        healthy_ms=600.0,
+        partition_ms=1_000.0,
+        rebalance_ms=800.0,
+        window_ms=200.0,
+        jobs=jobs,
+    )
+
+
+class TestStalenessExperiment:
+    def test_phases_and_probes_populated(self):
+        results = _tiny(protocols=("eventual",))
+        result = results[0]
+        assert [p.name for p in result.campaign.phases] == [
+            "healthy", "partition", "rebalance"]
+        # The healthy phase must see real recency observations.
+        healthy = result.phase_recency["healthy"]["t_visibility_ms"]
+        assert healthy is not None and healthy["count"] > 0
+        assert result.counters["staleness_commits_total"] > 0
+        assert result.counters["staleness_reads_total"] > 0
+        assert result.cdfs["t_visibility_ms"]
+        assert "repro_staleness_commits_total" in result.prometheus
+
+    def test_partition_inflates_eventual_t_visibility(self):
+        result = _tiny(protocols=("eventual",))[0]
+        healthy = result.phase_quantile("healthy", "t_visibility_ms", "p99")
+        partition = result.phase_quantile(
+            "partition", "t_visibility_ms", "p99")
+        assert healthy is not None and partition is not None
+        assert partition > healthy
+
+    def test_sequential_and_parallel_payloads_identical(self):
+        sequential = staleness_report_json(_tiny(jobs=None))
+        parallel = staleness_report_json(_tiny(jobs=2))
+        assert (json.dumps(sequential, sort_keys=True, allow_nan=False)
+                == json.dumps(parallel, sort_keys=True, allow_nan=False))
+
+    def test_report_renders(self):
+        results = _tiny(protocols=("eventual",))
+        text = format_staleness(results)
+        assert "t-visibility (ms)" in text
+        assert "nemesis narration" in text
+        payload = staleness_report_json(results)
+        json.dumps(payload, allow_nan=False)  # strictly JSON-safe
+        assert payload["figure"] == "staleness"
+        assert payload["protocols"][0]["timeseries"]["fault_windows"]

@@ -239,3 +239,84 @@ class TestRepeatableBuild:
         final = telemetry.build()["VA"].windows
         assert [w.stalled for w in final] == [0, 0, 0]
         assert [w.committed for w in final] == [1, 1, 0]
+
+
+class TestWindowBoundaries:
+    """Regression: a boundary-exact observation counts in exactly one window."""
+
+    def test_boundary_commit_counts_once(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 300.0)
+        # Ends exactly on the 100 ms edge: it measures the interval that
+        # just closed, so it belongs to window 0 — and only window 0.
+        record(telemetry, "VA", 10.0, 100.0)
+        windows = telemetry.build()["VA"].windows
+        assert [w.committed for w in windows] == [1, 0, 0]
+        assert sum(w.committed for w in windows) == 1
+
+    def test_boundary_abort_counts_once_and_never_stalls_earlier(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 300.0)
+        # Aborts exactly at t=200: attributed to window 1 (the interval it
+        # closed), stalls only window 1 (which it strictly outlived is
+        # none; it covered window 1 in full via [90, 200)).
+        record(telemetry, "VA", 90.0, 200.0, committed=False)
+        windows = telemetry.build()["VA"].windows
+        assert sum(w.external_aborts for w in windows) == 1
+        assert windows[1].external_aborts == 1
+        # A completion landing exactly on a window's end does not also
+        # stall that window: total accounting for this attempt is 1.
+        total = sum(w.external_aborts + w.stalled for w in windows)
+        assert total == 1
+
+    def test_boundary_exact_at_run_start(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 200.0)
+        # Degenerate: completes at t=0.0, the very first boundary.  There
+        # is no earlier window, so it stays in window 0.
+        record(telemetry, "VA", 0.0, 0.0)
+        windows = telemetry.build()["VA"].windows
+        assert [w.committed for w in windows] == [1, 0]
+
+    def test_open_attempt_keeps_inclusive_stalls(self):
+        telemetry = TimelineTelemetry(window_ms=100.0)
+        telemetry.start_run(0.0, 300.0)
+        record(telemetry, "VA", 100.0)  # never completes
+        windows = telemetry.build()["VA"].windows
+        assert [w.stalled for w in windows] == [0, 1, 1]
+
+
+class TestJoinFaultWindows:
+    def _window_dicts(self):
+        return [{"index": i, "start_ms": i * 100.0,
+                 "end_ms": (i + 1) * 100.0} for i in range(4)]
+
+    def _fault(self, window_id, kind, targets, start_ms, end_ms):
+        from repro.obs.trace import FaultWindow
+        fault = FaultWindow(window_id=window_id, kind=kind, targets=targets,
+                            start_ms=start_ms)
+        fault.end_ms = end_ms
+        return fault.as_dict()
+
+    def test_overlap_stamps_fault_ids(self):
+        from repro.chaos.telemetry import join_fault_windows
+        faults = [self._fault(7, "partition", ("VA",), 150.0, 250.0)]
+        windows = self._window_dicts()
+        join_fault_windows(windows, faults)
+        assert [w["faults"] for w in windows] == [[], [7], [7], []]
+
+    def test_open_fault_covers_suffix(self):
+        from repro.chaos.telemetry import join_fault_windows
+        faults = [self._fault(1, "crash", ("s1",), 250.0, None)]
+        windows = self._window_dicts()
+        join_fault_windows(windows, faults)
+        assert [w["faults"] for w in windows] == [[], [], [1], [1]]
+
+    def test_zero_width_marker_lands_in_one_window(self):
+        from repro.chaos.telemetry import join_fault_windows
+        # A marker exactly on a window edge belongs to the window that
+        # *starts* there (instants use half-open [start, end) windows).
+        faults = [self._fault(3, "scale-out", ("c0",), 200.0, 200.0)]
+        windows = self._window_dicts()
+        join_fault_windows(windows, faults)
+        assert [w["faults"] for w in windows] == [[], [], [3], []]

@@ -23,6 +23,7 @@ QUICK_FLAGS = {
     "availability_under_partitions.py": ["--quick"],
     "elastic_scale_out.py": ["--quick"],
     "saturation_ramp.py": ["--quick"],
+    "staleness_observatory.py": ["--quick"],
     "trace_an_anomaly.py": ["--quick"],
 }
 
@@ -31,6 +32,7 @@ EXPECTED_ARTIFACTS = {
     "availability_under_partitions.py": ["availability.json"],
     "elastic_scale_out.py": ["elasticity.json"],
     "saturation_ramp.py": ["saturation.json"],
+    "staleness_observatory.py": ["staleness.json"],
     "trace_an_anomaly.py": ["trace.json", "trace_events.json"],
 }
 

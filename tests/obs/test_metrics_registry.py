@@ -1,0 +1,242 @@
+"""Unit tests for the metrics registry and the recency probes."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.staleness import StalenessProbe
+
+
+class TestCounters:
+    def test_inc_and_labels(self):
+        registry = MetricsRegistry()
+        registry.inc("requests_total")
+        registry.inc("requests_total", 2.0)
+        registry.inc("requests_total", node="s1")
+        assert registry.counter_value("requests_total") == 3.0
+        assert registry.counter_value("requests_total", node="s1") == 1.0
+        assert registry.counter_total("requests_total") == 4.0
+
+    def test_unknown_counter_is_zero(self):
+        registry = MetricsRegistry()
+        assert registry.counter_value("nope") == 0.0
+        assert registry.counter_total("nope") == 0.0
+
+
+class TestGauges:
+    def test_set_and_max(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("depth", 4.0, node="s1")
+        registry.set_gauge("depth", 2.0, node="s1")
+        assert registry.gauges[("depth", (("node", "s1"),))] == 2.0
+        registry.max_gauge("depth_max", 4.0)
+        registry.max_gauge("depth_max", 2.0)
+        assert registry.gauges[("depth_max", ())] == 4.0
+
+
+class TestWindows:
+    def test_observations_bucket_into_absolute_tiles(self):
+        registry = MetricsRegistry(window_ms=100.0)
+        registry.observe("lat_ms", 10.0, 5.0)
+        registry.observe("lat_ms", 150.0, 7.0)
+        registry.observe("lat_ms", 199.0, 9.0)
+        assert registry.window_indices("lat_ms") == [0, 1]
+        assert registry.merged_quantiles("lat_ms", [1])["count"] == 2
+
+    def test_boundary_observation_in_exactly_one_window(self):
+        registry = MetricsRegistry(window_ms=100.0)
+        # Exactly on the tile edge: half-open [100, 200) owns it.
+        registry.observe("lat_ms", 100.0, 1.0)
+        assert registry.window_indices("lat_ms") == [1]
+        total = sum(registry.merged_quantiles("lat_ms", [i])["count"]
+                    for i in (0, 1, 2)
+                    if registry.merged_quantiles("lat_ms", [i]) is not None)
+        assert total == 1
+
+    def test_summary_exact_stats(self):
+        registry = MetricsRegistry(window_ms=100.0)
+        for value in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("lat_ms", 50.0, value)
+        summary = registry.summary("lat_ms")
+        assert summary["count"] == 4
+        assert summary["mean"] == pytest.approx(2.5)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+
+    def test_empty_summary_is_none(self):
+        registry = MetricsRegistry()
+        assert registry.summary("lat_ms") is None
+        assert registry.merged_quantiles("lat_ms", [0]) is None
+
+    def test_indices_in_range_uses_midpoints(self):
+        registry = MetricsRegistry(window_ms=100.0)
+        for at in (50.0, 150.0, 250.0):
+            registry.observe("lat_ms", at, 1.0)
+        assert registry.indices_in_range(0.0, 200.0) == [0, 1]
+        assert registry.indices_in_range(100.0, 300.0) == [1, 2]
+
+
+class TestMerge:
+    def test_merge_of_parts_equals_whole(self):
+        whole = MetricsRegistry(window_ms=100.0)
+        part_a = MetricsRegistry(window_ms=100.0)
+        part_b = MetricsRegistry(window_ms=100.0)
+        for i in range(20):
+            target = part_a if i % 2 else part_b
+            whole.observe("lat_ms", i * 25.0, float(i))
+            target.observe("lat_ms", i * 25.0, float(i))
+            whole.inc("ops_total", node=f"s{i % 3}")
+            target.inc("ops_total", node=f"s{i % 3}")
+            whole.max_gauge("depth_max", float(i))
+            target.max_gauge("depth_max", float(i))
+        part_a.merge(part_b)
+        assert part_a.counter_total("ops_total") == whole.counter_total(
+            "ops_total")
+        assert part_a.gauges == whole.gauges
+        merged = part_a.summary("lat_ms")
+        reference = whole.summary("lat_ms")
+        assert merged["count"] == reference["count"]
+        assert merged["mean"] == pytest.approx(reference["mean"])
+        assert merged["min"] == reference["min"]
+        assert merged["max"] == reference["max"]
+
+    def test_merge_rejects_window_mismatch(self):
+        from repro.errors import ReproError
+        a = MetricsRegistry(window_ms=100.0)
+        b = MetricsRegistry(window_ms=200.0)
+        with pytest.raises(ReproError):
+            a.merge(b)
+
+
+class TestFaultWindows:
+    def test_on_fault_opens_and_closes(self):
+        registry = MetricsRegistry()
+        registry.on_fault("partition", ("VA", "OR"), 100.0, "split")
+        registry.on_fault("heal", (), 300.0, "heal")
+        assert len(registry.fault_windows) == 1
+        window = registry.fault_windows[0]
+        assert window.kind == "partition"
+        assert window.start_ms == 100.0
+        assert window.end_ms == 300.0
+
+    def test_marker_kinds_are_zero_width(self):
+        registry = MetricsRegistry()
+        registry.on_fault("scale-out", ("c0",), 150.0, "join")
+        assert len(registry.fault_windows) == 1
+        window = registry.fault_windows[0]
+        assert window.start_ms == window.end_ms == 150.0
+
+    def test_finalize_closes_open_windows(self):
+        registry = MetricsRegistry()
+        registry.on_fault("partition", ("VA",), 100.0, "split")
+        registry.finalize(500.0)
+        assert registry.fault_windows[0].end_ms == 500.0
+
+
+class TestExports:
+    def _populated(self):
+        registry = MetricsRegistry(window_ms=100.0)
+        registry.inc("ops_total", 3.0, node="s1")
+        registry.set_gauge("depth", 2.0)
+        registry.observe("lat_ms", 50.0, 10.0)
+        registry.observe("lat_ms", 150.0, 20.0)
+        registry.on_fault("partition", ("VA",), 100.0, "split")
+        registry.finalize(200.0)
+        return registry
+
+    def test_timeseries_shape_and_fault_join(self):
+        payload = self._populated().timeseries()
+        decoded = json.loads(json.dumps(payload, allow_nan=False))
+        assert decoded["window_ms"] == 100.0
+        series = {s["name"]: s for s in decoded["series"]}
+        windows = series["lat_ms"]["windows"]
+        assert [w["index"] for w in windows] == [0, 1]
+        assert windows[0]["faults"] == []
+        assert windows[1]["faults"] == [1]
+        assert decoded["fault_windows"][0]["kind"] == "partition"
+
+    def test_prometheus_exposition(self):
+        text = self._populated().prometheus()
+        assert "# TYPE repro_ops_total counter" in text
+        assert 'repro_ops_total{node="s1"} 3' in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_lat_ms summary" in text
+        assert 'repro_lat_ms{quantile="0.5"}' in text
+        assert "repro_lat_ms_count 2" in text
+        # Deterministic: same registry renders the same text.
+        assert text == self._populated().prometheus()
+
+
+class TestStalenessProbe:
+    def test_t_visibility_bucketed_by_commit_time(self):
+        registry = MetricsRegistry(window_ms=100.0)
+        probe = registry.staleness
+        probe.on_commit("k", 1, "s1", 50.0)
+        probe.on_install("k", 1, "s2", 450.0)
+        # The 400 ms lag lands in the commit's window, not the install's.
+        assert registry.window_indices("t_visibility_ms") == [0]
+        assert registry.summary("t_visibility_ms")["max"] == 400.0
+
+    def test_duplicate_installs_and_commits_are_idempotent(self):
+        registry = MetricsRegistry()
+        probe = registry.staleness
+        probe.on_commit("k", 1, "s1", 0.0)
+        probe.on_commit("k", 1, "s9", 99.0)  # replayed announcement: no-op
+        probe.on_install("k", 1, "s2", 40.0)
+        probe.on_install("k", 1, "s2", 80.0)  # replayed anti-entropy
+        probe.on_install("k", 1, "s1", 60.0)  # origin install: not lag
+        assert registry.counter_total("staleness_commits_total") == 1.0
+        assert registry.counter_total("staleness_installs_total") == 1.0
+        assert registry.summary("t_visibility_ms")["count"] == 1
+
+    def test_replica_set_frozen_at_commit(self):
+        registry = MetricsRegistry()
+        probe = registry.staleness
+        probe.on_commit("k", 1, "s1", 0.0, replicas=("s1", "s2"))
+        probe.on_install("k", 1, "s2", 40.0)
+        # A later rebalance streaming the version to a brand-new owner is
+        # bootstrap catch-up, not replication lag.
+        probe.on_install("k", 1, "s3", 900.0)
+        assert registry.summary("t_visibility_ms")["count"] == 1
+        assert registry.summary("t_visibility_ms")["max"] == 40.0
+
+    def test_unknown_version_install_ignored(self):
+        registry = MetricsRegistry()
+        registry.staleness.on_install("k", 7, "s2", 10.0)
+        assert registry.summary("t_visibility_ms") is None
+
+    def test_k_staleness_ranks_against_ledger(self):
+        registry = MetricsRegistry()
+        probe = registry.staleness
+        for timestamp in (1, 2, 3):
+            probe.on_commit("k", timestamp, "s1", float(timestamp))
+        probe.on_read("k", 3, 10.0)   # freshest
+        probe.on_read("k", 1, 10.0)   # two behind
+        probe.on_read("k", None, 10.0)  # found nothing: behind all three
+        probe.on_read("other", None, 10.0)  # no ledger: k = 0
+        summary = registry.summary("k_staleness_versions")
+        assert summary["count"] == 4
+        assert summary["min"] == 0.0
+        assert summary["max"] == 3.0
+        assert registry.counter_total("staleness_reads_total") == 4.0
+        assert probe.ledger_depth("k") == 3
+
+
+class TestOptIn:
+    def test_metrics_off_by_default(self):
+        from repro.hat.testbed import Scenario, build_testbed
+        testbed = build_testbed(Scenario(regions=["VA"],
+                                         servers_per_cluster=1, seed=0))
+        assert testbed.metrics is None
+        assert testbed.network.metrics is None
+
+    def test_metrics_opt_in_installs_registry(self):
+        from repro.hat.testbed import Scenario, build_testbed
+        testbed = build_testbed(Scenario(regions=["VA"],
+                                         servers_per_cluster=1, seed=0,
+                                         metrics=True,
+                                         metrics_window_ms=250.0))
+        assert isinstance(testbed.metrics, MetricsRegistry)
+        assert testbed.metrics.window_ms == 250.0
+        assert isinstance(testbed.metrics.staleness, StalenessProbe)
